@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation: the lock protocol. Compares the PIM lock design
+ * (zero-bus-cycle LR on exclusive hits, UL only when a waiter exists)
+ * against a pessimistic software estimate where every lock/unlock pair
+ * would cost bus transactions, and sweeps lock-directory pressure with
+ * a synthetic contended workload (paper Sections 3.1 and 4.7).
+ */
+
+#include "bench_util.h"
+#include "sim/trace_replay.h"
+#include "trace/synth.h"
+
+namespace pim::kl1::bench {
+namespace {
+
+int
+run(int argc, const char* const* argv)
+{
+    const BenchContext ctx = BenchContext::parse(argc, argv);
+    banner("Ablation: lock protocol", ctx);
+
+    Table table("measured: lock operations on the benchmarks");
+    table.setHeader({"benchmark", "LR ops", "zero-bus LR %",
+                     "zero-bus unlock %", "lock-rejects",
+                     "est. cycles saved"});
+    for (const BenchProgram& bench : allBenchmarks()) {
+        const BenchResult r =
+            runBenchmark(bench, ctx.scale, paperConfig(ctx.pes));
+        const CacheStats& c = r.cache;
+        // A cache without the lock fast paths would put every LR and
+        // every unlock on the bus (>= an invalidate, 2 cycles each).
+        const std::uint64_t saved =
+            2 * (c.lrHitExclusive + c.unlockNoWaiter);
+        table.addRow(
+            {bench.name, fmtCount(c.lrCount),
+             fmtFixed(pct(static_cast<double>(c.lrHitExclusive),
+                          static_cast<double>(c.lrCount)), 1),
+             fmtFixed(pct(static_cast<double>(c.unlockNoWaiter),
+                          static_cast<double>(c.unlockCount)), 1),
+             fmtCount(c.lrLockWaits),
+             fmtEng(static_cast<double>(saved), 2)});
+    }
+    table.print(std::cout);
+
+    // Synthetic contention sweep: how the protocol behaves as real lock
+    // conflicts appear (the paper's premise is that they are rare).
+    std::printf("\nsynthetic lock contention (4 PEs, LR/UW pairs):\n");
+    Table sweep("");
+    sweep.setHeader({"conflict %", "bus cycles", "UL broadcasts",
+                     "lock rejects", "zero-bus unlock %"});
+    for (std::uint32_t conflict : {0u, 1u, 5u, 25u, 100u}) {
+        SystemConfig config;
+        config.numPes = 4;
+        config.cache.geometry = {4, 4, 64};
+        config.memoryWords = 1 << 20;
+        System sys(config);
+        const auto trace = makeLockTraffic(
+            4, 100, 200, 2000ull * ctx.scale, conflict * 100, 11);
+        TraceReplay replay(sys, trace);
+        replay.run();
+        const CacheStats cache = sys.totalCacheStats();
+        sweep.addRow(
+            {std::to_string(conflict),
+             fmtEng(static_cast<double>(sys.bus().stats().totalCycles),
+                    2),
+             fmtCount(sys.bus().stats().cmdCounts[static_cast<int>(
+                 BusCmd::UL)]),
+             fmtCount(replay.lockRejects()),
+             fmtFixed(pct(static_cast<double>(cache.unlockNoWaiter),
+                          static_cast<double>(cache.unlockCount)), 1)});
+    }
+    sweep.print(std::cout);
+
+    std::printf(
+        "\nShape checks: on the KL1 benchmarks nearly all lock reads and"
+        "\nunlocks are bus-free (Table 5); under forced contention UL"
+        "\nbroadcasts and busy-wait rejects appear and traffic rises —"
+        "\nthe design is optimized for the no-conflict common case,"
+        "\nexactly as the paper argues.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace pim::kl1::bench
+
+int
+main(int argc, char** argv)
+{
+    return pim::kl1::bench::run(argc, argv);
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Ablation: single-assignment copying vs MRB-style in-place update.
+ * The paper (Section 4, citing Nishida [12]) notes that MRB incremental
+ * reuse "will significantly affect heap referencing characteristics".
+ * Here the Puzzle benchmark's board updates run in both modes: the pure
+ * set_vector_element/4 copies the whole board per placement, the
+ * destructive set_vector_element_d/4 overwrites in place (legal on this
+ * search's backtrack-free single-reference boards only when the board
+ * is not shared — so the destructive variant re-clears cells on the way
+ * back out, like an MRB-reused structure).
+ */
+
+#include "bench_util.h"
+#include "kl1/compiler.h"
+#include "kl1/parser.h"
+
+namespace pim::kl1::bench {
+namespace {
+
+/** Depth-first sequential domino search with an in-place board: place,
+ *  recurse, un-place — the MRB single-reference pattern. */
+const char* kDestructiveSrc =
+    "puzzle(W, H, C) :- true | S := W * H,\n"
+    "    new_vector(S, 0, B), solve(B, W, S, C).\n"
+    "solve(B, W, S, C) :- true | scan(B, 0, S, Pos),\n"
+    "    branch(Pos, B, W, S, C).\n"
+    "scan(_, S, S, Pos) :- true | Pos = -1.\n"
+    "scan(B, I, S, Pos) :- I < S | vector_element(B, I, X),\n"
+    "    scan2(X, B, I, S, Pos).\n"
+    "scan2(1, B, I, S, Pos) :- true | I1 := I + 1, scan(B, I1, S, Pos).\n"
+    "scan2(0, _, I, _, Pos) :- true | Pos = I.\n"
+    "branch(-1, _, _, _, C) :- true | C = 1.\n"
+    "branch(P, B, W, S, C) :- P >= 0 |\n"
+    "    tryh(P, B, W, S, C1), andthen(C1, P, B, W, S, C).\n"
+    "andthen(C1, P, B, W, S, C) :- integer(C1) |\n"
+    "    tryv(P, B, W, S, C2), add2(C1, C2, C).\n"
+    "add2(A, B, C) :- integer(A), integer(B) | C := A + B.\n"
+    "tryh(P, B, W, S, C) :- P mod W < W - 1 | P1 := P + 1,\n"
+    "    vector_element(B, P1, X), place(X, P, P1, B, W, S, C).\n"
+    "tryh(P, _, W, _, C) :- P mod W >= W - 1 | C = 0.\n"
+    "tryv(P, B, W, S, C) :- P + W < S | PW := P + W,\n"
+    "    vector_element(B, PW, X), place(X, P, PW, B, W, S, C).\n"
+    "tryv(P, _, W, S, C) :- P + W >= S | C = 0.\n"
+    "place(1, _, _, _, _, _, C) :- true | C = 0.\n"
+    "place(0, P, Q, B, W, S, C) :- true |\n"
+    "    set_vector_element_d(B, P, 1, B1),\n"
+    "    set_vector_element_d(B1, Q, 1, B2),\n"
+    "    solve(B2, W, S, C0), unplace(C0, P, Q, B2, C).\n"
+    "unplace(C0, P, Q, B, C) :- integer(C0) |\n"
+    "    set_vector_element_d(B, P, 0, B1),\n"
+    "    set_vector_element_d(B1, Q, 0, _),\n"
+    "    C = C0.\n";
+
+int
+run(int argc, const char* const* argv)
+{
+    const BenchContext ctx = BenchContext::parse(argc, argv);
+    banner("Ablation: copying vs MRB-style in-place structure update",
+           ctx);
+
+    const BenchProgram& pure = benchmarkByName("Puzzle");
+    const std::string query = pure.query(ctx.scale);
+    const std::string expected = pure.expected(ctx.scale);
+
+    Table table("measured (Puzzle board updates)");
+    table.setHeader({"variant", "answer", "heap writes", "bus cycles",
+                     "makespan"});
+
+    // Pure copying variant (the benchmark itself, any PE count).
+    {
+        const BenchResult r =
+            runBenchmark(pure, ctx.scale, paperConfig(ctx.pes));
+        table.addRow({"copying (pure)", r.answer,
+                      fmtCount(r.refs.count(Area::Heap, MemOp::DW) +
+                               r.refs.count(Area::Heap, MemOp::W)),
+                      fmtEng(static_cast<double>(r.bus.totalCycles), 2),
+                      fmtEng(static_cast<double>(r.run.makespan), 2)});
+    }
+    // Destructive variant: inherently sequential (the board is a single
+    // mutable object), so it runs on one PE.
+    {
+        Module module = compileProgram(parseProgram(kDestructiveSrc));
+        Emulator emu(std::move(module), paperConfig(1));
+        const RunStats stats = emu.run(query);
+        std::string answer;
+        for (const auto& [name, value] : emu.queryBindings()) {
+            if (name == "R")
+                answer = value;
+        }
+        if (answer != expected) {
+            std::fprintf(stderr, "MRB variant computed %s, expected %s\n",
+                         answer.c_str(), expected.c_str());
+            return 1;
+        }
+        const RefStats& refs = emu.system().refStats();
+        table.addRow(
+            {"in-place (MRB, 1 PE)", answer,
+             fmtCount(refs.count(Area::Heap, MemOp::DW) +
+                      refs.count(Area::Heap, MemOp::W)),
+             fmtEng(static_cast<double>(
+                        emu.system().bus().stats().totalCycles), 2),
+             fmtEng(static_cast<double>(stats.makespan), 2)});
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nShape checks: the copying search writes the whole board per\n"
+        "placement while the MRB-style search writes two words (plus\n"
+        "two to undo) — a large drop in heap writes, allocation and bus\n"
+        "traffic, at the price of sequentializing the search. This is\n"
+        "the referencing-characteristics shift the paper attributes to\n"
+        "MRB-based incremental reuse [12].\n");
+    return 0;
+}
+
+} // namespace
+} // namespace pim::kl1::bench
+
+int
+main(int argc, char** argv)
+{
+    return pim::kl1::bench::run(argc, argv);
+}

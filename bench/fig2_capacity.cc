@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Figure 2 of the paper: "Cache Capacity vs. Bus Traffic" —
+ * four-way, four-word-block I+D caches from 512 data words to 16K data
+ * words (the paper's x-axis is total storage bits including the
+ * directory, assuming 5-byte words), plus the Section 4.4 two-word-bus
+ * series (traffic drops to 62-75% of the one-word bus).
+ */
+
+#include "bench_util.h"
+
+namespace pim::kl1::bench {
+namespace {
+
+int
+run(int argc, const char* const* argv)
+{
+    const BenchContext ctx = BenchContext::parse(argc, argv);
+    banner("Figure 2: Cache Capacity vs Miss Ratio and Bus Traffic", ctx);
+
+    const std::uint64_t capacities[] = {512, 1024, 2048, 4096, 8192,
+                                        16384};
+
+    Table miss("measured: miss ratio (%)");
+    Table bus("measured: bus cycles (millions)");
+    std::vector<std::string> header = {"capacity", "bits"};
+    for (const BenchProgram& bench : allBenchmarks())
+        header.push_back(bench.name);
+    miss.setHeader(header);
+    bus.setHeader(header);
+
+    for (std::uint64_t capacity : capacities) {
+        const CacheGeometry geom =
+            CacheGeometry::forCapacity(capacity, 4, 4);
+        std::vector<std::string> miss_cells = {
+            fmtCount(capacity) + "w", fmtEng(static_cast<double>(
+                                          geom.storageBits()), 1)};
+        std::vector<std::string> bus_cells = miss_cells;
+        for (const BenchProgram& bench : allBenchmarks()) {
+            Kl1Config config = paperConfig(ctx.pes);
+            config.cache.geometry = geom;
+            const BenchResult r = runBenchmark(bench, ctx.scale, config);
+            miss_cells.push_back(fmtFixed(r.cache.missRatio() * 100, 2));
+            bus_cells.push_back(
+                fmtEng(static_cast<double>(r.bus.totalCycles), 2));
+        }
+        miss.addRow(miss_cells);
+        bus.addRow(bus_cells);
+    }
+    miss.print(std::cout);
+    std::printf("\n");
+    bus.print(std::cout);
+
+    // Section 4.4: two-word bus at the base 4-Kword capacity.
+    std::printf("\ntwo-word bus (Section 4.4), 4-Kword caches:\n");
+    Table wide("measured: two-word-bus traffic relative to one-word bus");
+    wide.setHeader({"benchmark", "1-word cycles", "2-word cycles",
+                    "ratio"});
+    for (const BenchProgram& bench : allBenchmarks()) {
+        Kl1Config narrow = paperConfig(ctx.pes);
+        Kl1Config wide_config = paperConfig(ctx.pes);
+        wide_config.timing.widthWords = 2;
+        const BenchResult r1 = runBenchmark(bench, ctx.scale, narrow);
+        const BenchResult r2 = runBenchmark(bench, ctx.scale,
+                                            wide_config);
+        wide.addRow({bench.name,
+                     fmtEng(static_cast<double>(r1.bus.totalCycles), 2),
+                     fmtEng(static_cast<double>(r2.bus.totalCycles), 2),
+                     fmtFixed(static_cast<double>(r2.bus.totalCycles) /
+                                  static_cast<double>(r1.bus.totalCycles),
+                              2)});
+    }
+    wide.print(std::cout);
+
+    std::printf(
+        "\nShape checks (paper Fig. 2 / Section 4.4): the knee of the"
+        "\nmiss-ratio and bus-traffic curves is near the 8-Kword cache"
+        "\n(about 4e5 bits); Semi's small working set is captured even by"
+        "\nthe smallest cache; a two-word bus cuts traffic to roughly"
+        "\n0.62-0.75 of the one-word bus.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace pim::kl1::bench
+
+int
+main(int argc, char** argv)
+{
+    return pim::kl1::bench::run(argc, argv);
+}

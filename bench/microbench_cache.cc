@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself: reference
+ * throughput of the cache/bus model on synthetic traffic, and
+ * reductions/second of the KL1 emulator. These measure the tool, not
+ * the paper's system.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_kl1/programs.h"
+#include "bench_kl1/workload.h"
+#include "kl1/compiler.h"
+#include "kl1/parser.h"
+#include "sim/trace_replay.h"
+#include "trace/synth.h"
+
+namespace pim {
+namespace {
+
+void
+BM_RandomTraffic(benchmark::State& state)
+{
+    RandomTrafficConfig config;
+    config.numPes = static_cast<std::uint32_t>(state.range(0));
+    config.refsPerPe = 20000;
+    config.spanWords = 1 << 14;
+    const auto trace = makeRandomTraffic(config);
+    for (auto _ : state) {
+        SystemConfig sys_config;
+        sys_config.numPes = config.numPes;
+        sys_config.memoryWords = 1 << 22;
+        System sys(sys_config);
+        TraceReplay replay(sys, trace);
+        replay.run();
+        benchmark::DoNotOptimize(sys.bus().stats().totalCycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_RandomTraffic)->Arg(2)->Arg(8);
+
+void
+BM_ProducerConsumer(benchmark::State& state)
+{
+    const bool optimized = state.range(0) != 0;
+    const auto trace =
+        makeProducerConsumer(0, 1, 2, 1 << 16, 1 << 14, 8, 4000,
+                             optimized);
+    for (auto _ : state) {
+        SystemConfig sys_config;
+        sys_config.numPes = 2;
+        sys_config.memoryWords = 1 << 22;
+        System sys(sys_config);
+        TraceReplay replay(sys, trace);
+        replay.run();
+        benchmark::DoNotOptimize(sys.bus().stats().totalCycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_ProducerConsumer)->Arg(0)->Arg(1);
+
+void
+BM_Kl1Reductions(benchmark::State& state)
+{
+    using namespace pim::kl1;
+    using namespace pim::kl1::bench;
+    const BenchProgram& bench = benchmarkByName("Puzzle");
+    const Program parsed = parseProgram(bench.source);
+    std::uint64_t reductions = 0;
+    for (auto _ : state) {
+        Module module = compileProgram(parsed);
+        Emulator emu(std::move(module), paperConfig(8));
+        const RunStats stats = emu.run(bench.query(1));
+        reductions += stats.reductions;
+        benchmark::DoNotOptimize(stats.makespan);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(reductions));
+}
+BENCHMARK(BM_Kl1Reductions);
+
+void
+BM_CompileBenchmarks(benchmark::State& state)
+{
+    using namespace pim::kl1;
+    using namespace pim::kl1::bench;
+    for (auto _ : state) {
+        for (const BenchProgram& bench : allBenchmarks()) {
+            Module module = compileProgram(parseProgram(bench.source));
+            benchmark::DoNotOptimize(module.totalWords());
+        }
+    }
+}
+BENCHMARK(BM_CompileBenchmarks);
+
+} // namespace
+} // namespace pim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces Table 4 of the paper: "Effect of Optimized Cache Commands
+ * in Reducing Bus Traffic" — bus cycles relative to the unoptimized
+ * cache for the Heap (DW), Goal (ER/RP/DW), Comm (RI) and All
+ * configurations — plus the per-command detail of Section 4.6 (swap-in
+ * avoided by DW, invalidations avoided by RI).
+ */
+
+#include "bench_util.h"
+
+namespace pim::kl1::bench {
+namespace {
+
+struct PaperRow {
+    const char* bench;
+    double heap, goal, comm, all;
+};
+
+const PaperRow kPaper[] = {
+    {"Tri", 0.62, 0.80, 0.83, 0.52},
+    {"Semi", 0.65, 1.00, 0.99, 0.62},
+    {"Puzzle", 0.55, 0.98, 0.98, 0.51},
+    {"Pascal", 0.64, 0.94, 0.96, 0.60},
+};
+
+int
+run(int argc, const char* const* argv)
+{
+    const BenchContext ctx = BenchContext::parse(argc, argv);
+    banner("Table 4: Effect of Optimized Cache Commands", ctx);
+
+    const OptPolicy policies[] = {OptPolicy::none(), OptPolicy::heapOnly(),
+                                  OptPolicy::goalOnly(),
+                                  OptPolicy::commOnly(), OptPolicy::all()};
+
+    Table table("measured: bus cycles relative to no optimization");
+    table.setHeader({"benchmark", "None", "Heap", "Goal", "Comm", "All"});
+    Table detail("measured detail (None -> All)");
+    detail.setHeader({"benchmark", "mem fetches", "I cmds", "swap-outs",
+                      "DW no-fetch", "purges"});
+
+    for (const PaperRow& row : kPaper) {
+        const BenchProgram& bench = benchmarkByName(row.bench);
+        std::vector<std::string> cells = {row.bench};
+        double base = 0;
+        BenchResult none_result;
+        BenchResult all_result;
+        for (const OptPolicy& policy : policies) {
+            const BenchResult r = runBenchmark(
+                bench, ctx.scale, paperConfig(ctx.pes, policy));
+            const double cycles =
+                static_cast<double>(r.bus.totalCycles);
+            if (policy.name() == "None") {
+                base = cycles;
+                none_result = r;
+            }
+            if (policy.name() == "All")
+                all_result = r;
+            cells.push_back(fmtFixed(base == 0 ? 0 : cycles / base, 2));
+        }
+        table.addRow(cells);
+
+        auto ratio = [](std::uint64_t after, std::uint64_t before) {
+            return std::string(fmtCount(before)) + " -> " +
+                   fmtCount(after);
+        };
+        detail.addRow(
+            {row.bench,
+             ratio(all_result.bus.memoryReads, none_result.bus.memoryReads),
+             ratio(all_result.bus.cmdCounts[static_cast<int>(BusCmd::I)],
+                   none_result.bus.cmdCounts[static_cast<int>(BusCmd::I)]),
+             ratio(all_result.cache.swapOuts, none_result.cache.swapOuts),
+             fmtCount(all_result.cache.dwAllocNoFetch),
+             fmtCount(all_result.cache.purges)});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+    detail.print(std::cout);
+
+    std::printf("\npaper Table 4:\n");
+    Table paper("");
+    paper.setHeader({"benchmark", "None", "Heap", "Goal", "Comm", "All"});
+    for (const PaperRow& row : kPaper) {
+        paper.addRow({row.bench, "1.00", fmtFixed(row.heap, 2),
+                      fmtFixed(row.goal, 2), fmtFixed(row.comm, 2),
+                      fmtFixed(row.all, 2)});
+    }
+    paper.print(std::cout);
+    std::printf(
+        "\nShape checks: DW ('Heap') contributes almost all of the"
+        "\nsavings; 'Goal' and 'Comm' alone save little; 'All' lands"
+        "\naround 0.5-0.65 of the unoptimized traffic (paper Section 5:"
+        "\n40-50%% reduction, DW alone 35-45%%).\n");
+    return 0;
+}
+
+} // namespace
+} // namespace pim::kl1::bench
+
+int
+main(int argc, char** argv)
+{
+    return pim::kl1::bench::run(argc, argv);
+}

@@ -1,0 +1,237 @@
+#include "bus/bus.h"
+
+#include <algorithm>
+
+#include "common/xassert.h"
+
+namespace pim {
+
+Bus::Bus(const BusTiming& timing, PagedStore& memory)
+    : timing_(timing), memory_(memory)
+{
+}
+
+void
+Bus::attach(PeId pe, BusSnooper* cache, LockSnooper* locks)
+{
+    ports_.push_back({pe, cache, locks});
+}
+
+void
+Bus::setUnlockListener(UnlockListener* listener)
+{
+    unlockListener_ = listener;
+}
+
+bool
+Bus::lockCheck(PeId requester, Addr block_addr)
+{
+    bool lock_hit = false;
+    for (const Port& port : ports_) {
+        if (port.pe == requester || port.locks == nullptr)
+            continue;
+        // All remote directories snoop (each may move LCK -> LWAIT), so
+        // do not short-circuit.
+        if (port.locks->snoopLockCheck(block_addr, timing_.blockWords))
+            lock_hit = true;
+    }
+    return lock_hit;
+}
+
+FetchResult
+Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
+           Addr lock_word, bool dirty_victim, Word* data_out, Cycles when,
+           Area area)
+{
+    PIM_ASSERT(block_addr % timing_.blockWords == 0,
+               "fetch of unaligned block address");
+    const Cycles start = std::max(when, freeAt_);
+    FetchResult result;
+
+    stats_.cmdCounts[static_cast<int>(invalidate ? BusCmd::FI : BusCmd::F)]
+        += 1;
+    if (with_lock) {
+        (void)lock_word; // LK rides along; word identity matters to snoop
+                         // directories only at block granularity.
+        stats_.cmdCounts[static_cast<int>(BusCmd::LK)] += 1;
+    }
+
+    if (lockCheck(requester, block_addr)) {
+        const Cycles cost = timing_.lockRejectCycles();
+        stats_.account(BusPattern::LockReject, cost, area, requester);
+        freeAt_ = start + cost;
+        result.lockHit = true;
+        result.completeAt = freeAt_;
+        return result;
+    }
+
+    // Snoop the caches; the first holder supplies the data (H response).
+    for (const Port& port : ports_) {
+        if (port.pe == requester || port.cache == nullptr)
+            continue;
+        if (!result.supplied) {
+            const BusSnooper::FetchReply reply =
+                port.cache->snoopFetch(block_addr, invalidate, data_out);
+            if (reply.present) {
+                result.supplied = true;
+                result.supplierDirty = reply.dirty;
+            }
+        } else if (invalidate) {
+            // A non-supplier copy may be the dirty (SM) owner; its
+            // dirtiness migrates to the requester rather than vanishing.
+            if (port.cache->snoopInvalidate(block_addr))
+                result.supplierDirty = true;
+        }
+        // For plain F, non-supplier sharers keep their copies.
+    }
+
+    Cycles cost = 0;
+    if (result.supplied) {
+        cost = timing_.cacheToCacheCycles(dirty_victim);
+        stats_.account(dirty_victim ? BusPattern::C2CVictim
+                                    : BusPattern::C2C,
+                       cost, area, requester);
+    } else {
+        for (std::uint32_t w = 0; w < timing_.blockWords; ++w)
+            data_out[w] = memory_.read(block_addr + w);
+        if (purgedDirty_.count(block_addr) != 0)
+            stats_.staleFetches += 1;
+        stats_.memoryBusyCycles += timing_.memAccessCycles;
+        stats_.memoryReads += 1;
+        cost = timing_.swapInCycles(dirty_victim);
+        stats_.account(dirty_victim ? BusPattern::MemFetchVictim
+                                    : BusPattern::MemFetch,
+                       cost, area, requester);
+    }
+    freeAt_ = start + cost;
+    result.completeAt = freeAt_;
+    return result;
+}
+
+InvalidateResult
+Bus::invalidate(PeId requester, Addr block_addr, bool with_lock,
+                Addr lock_word, Cycles when, Area area)
+{
+    PIM_ASSERT(block_addr % timing_.blockWords == 0,
+               "invalidate of unaligned block address");
+    const Cycles start = std::max(when, freeAt_);
+    InvalidateResult result;
+
+    stats_.cmdCounts[static_cast<int>(BusCmd::I)] += 1;
+    if (with_lock) {
+        (void)lock_word;
+        stats_.cmdCounts[static_cast<int>(BusCmd::LK)] += 1;
+        // Only lock-carrying invalidations are answered by LH (the plain
+        // I command is not in the paper's LH response list).
+        if (lockCheck(requester, block_addr)) {
+            const Cycles cost = timing_.lockRejectCycles();
+            stats_.account(BusPattern::LockReject, cost, area, requester);
+            freeAt_ = start + cost;
+            result.lockHit = true;
+            result.completeAt = freeAt_;
+            return result;
+        }
+    }
+
+    for (const Port& port : ports_) {
+        if (port.pe == requester || port.cache == nullptr)
+            continue;
+        if (port.cache->snoopInvalidate(block_addr))
+            result.droppedDirty = true;
+    }
+    const Cycles cost = timing_.invalidateCycles();
+    stats_.account(BusPattern::Invalidate, cost, area, requester);
+    freeAt_ = start + cost;
+    result.completeAt = freeAt_;
+    return result;
+}
+
+void
+Bus::writeBackData(Addr block_addr, const Word* data)
+{
+    for (std::uint32_t w = 0; w < timing_.blockWords; ++w)
+        memory_.write(block_addr + w, data[w]);
+    purgedDirty_.erase(block_addr);
+    stats_.memoryBusyCycles += timing_.memAccessCycles;
+    stats_.memoryWrites += 1;
+}
+
+void
+Bus::markPurgedDirty(Addr block_addr)
+{
+    purgedDirty_.insert(block_addr);
+}
+
+void
+Bus::noteFreshAllocation(Addr block_addr)
+{
+    purgedDirty_.erase(block_addr);
+}
+
+void
+Bus::clearPurgedMarks()
+{
+    purgedDirty_.clear();
+}
+
+Cycles
+Bus::swapOutOnly(PeId requester, Addr victim_addr, const Word* data,
+                 Cycles when, Area area)
+{
+    const Cycles start = std::max(when, freeAt_);
+    writeBackData(victim_addr, data);
+    const Cycles cost = timing_.swapOutOnlyCycles();
+    stats_.account(BusPattern::SwapOutOnly, cost, area, requester);
+    freeAt_ = start + cost;
+    return freeAt_;
+}
+
+Cycles
+Bus::unlockBroadcast(PeId requester, Addr word_addr, Cycles when, Area area)
+{
+    const Cycles start = std::max(when, freeAt_);
+    stats_.cmdCounts[static_cast<int>(BusCmd::UL)] += 1;
+    const Cycles cost = timing_.unlockCycles();
+    stats_.account(BusPattern::Unlock, cost, area, requester);
+    freeAt_ = start + cost;
+    if (unlockListener_ != nullptr)
+        unlockListener_->onUnlockBroadcast(word_addr, freeAt_);
+    return freeAt_;
+}
+
+Cycles
+Bus::writeWordThrough(PeId requester, Addr word_addr, Word value,
+                      Cycles when, Area area)
+{
+    const Cycles start = std::max(when, freeAt_);
+    const Addr block_addr = word_addr - word_addr % timing_.blockWords;
+    memory_.write(word_addr, value);
+    purgedDirty_.erase(block_addr);
+    stats_.memoryBusyCycles += timing_.memAccessCycles;
+    stats_.memoryWrites += 1;
+    for (const Port& port : ports_) {
+        if (port.pe == requester || port.cache == nullptr)
+            continue;
+        port.cache->snoopInvalidate(block_addr);
+    }
+    const Cycles cost = timing_.wordWriteCycles();
+    stats_.account(BusPattern::WordWrite, cost, area, requester);
+    freeAt_ = start + cost;
+    return freeAt_;
+}
+
+void
+Bus::readMemoryBlock(Addr block_addr, Word* data_out) const
+{
+    for (std::uint32_t w = 0; w < timing_.blockWords; ++w)
+        data_out[w] = memory_.read(block_addr + w);
+}
+
+void
+Bus::writeMemoryBlock(Addr block_addr, const Word* data)
+{
+    for (std::uint32_t w = 0; w < timing_.blockWords; ++w)
+        memory_.write(block_addr + w, data[w]);
+}
+
+} // namespace pim

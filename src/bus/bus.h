@@ -1,0 +1,241 @@
+/**
+ * @file
+ * The common bus: arbitration, snoop dispatch, data movement, accounting.
+ *
+ * Implements the bus commands of paper Section 3.3: F (fetch), FI (fetch
+ * and invalidate), I (invalidate), LK (lock, riding with FI or I), UL
+ * (unlock), and the responses H (hit, i.e. a cache supplies the block)
+ * and LH (lock hit, the access is inhibited by a remote lock directory).
+ *
+ * The bus carries real data words between caches and the shared memory,
+ * and charges cycles according to BusTiming. Protocol policy (state
+ * transitions) lives in the caches; the bus only dispatches snoops.
+ */
+
+#ifndef PIMCACHE_BUS_BUS_H_
+#define PIMCACHE_BUS_BUS_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "bus/timing.h"
+#include "common/types.h"
+#include "mem/area.h"
+#include "mem/paged_store.h"
+
+namespace pim {
+
+/** Cache-side snoop interface. */
+class BusSnooper
+{
+  public:
+    virtual ~BusSnooper() = default;
+
+    /** Reply to a fetch snoop. */
+    struct FetchReply {
+        bool present = false; ///< H response: this cache supplies data.
+        bool dirty = false;   ///< Block was EM/SM before the snoop.
+    };
+
+    /**
+     * F or FI observed for @p block_addr. If this cache holds the block
+     * it must copy it into @p data_out, then downgrade to shared (F) or
+     * invalidate (FI) its copy, and report whether the copy was dirty.
+     * Dirty data is *not* copied back to shared memory here — that is the
+     * point of the SM state (the Illinois-style baseline overrides this).
+     */
+    virtual FetchReply snoopFetch(Addr block_addr, bool invalidate,
+                                  Word* data_out) = 0;
+
+    /**
+     * I (or the invalidation half of FI) observed for @p block_addr: drop
+     * any copy. @return true if the dropped copy was dirty (EM/SM), so
+     * that dirty ownership can migrate to the requester instead of being
+     * silently lost.
+     */
+    virtual bool snoopInvalidate(Addr block_addr) = 0;
+};
+
+/** Lock-directory-side snoop interface. */
+class LockSnooper
+{
+  public:
+    virtual ~LockSnooper() = default;
+
+    /**
+     * F, FI or LK observed for the block [block_addr, block_addr +
+     * block_words). If this directory holds a lock on any word in that
+     * block it must move the entry to LWAIT and return true (LH).
+     */
+    virtual bool snoopLockCheck(Addr block_addr,
+                                std::uint32_t block_words) = 0;
+};
+
+/** Observer of UL broadcasts (the system uses it to wake parked PEs). */
+class UnlockListener
+{
+  public:
+    virtual ~UnlockListener() = default;
+
+    /** UL observed for @p word_addr at bus time @p when. */
+    virtual void onUnlockBroadcast(Addr word_addr, Cycles when) = 0;
+};
+
+/** Aggregate bus accounting. */
+struct BusStats {
+    Cycles cyclesByPattern[kNumBusPatterns] = {};
+    std::uint64_t transByPattern[kNumBusPatterns] = {};
+    Cycles cyclesByArea[kNumAreaSlots] = {};
+    Cycles cyclesByPe[64] = {};
+    std::uint64_t cmdCounts[kNumBusCmds] = {};
+    Cycles totalCycles = 0;
+    /** Shared-memory module busy time (fetches + copy-backs). */
+    Cycles memoryBusyCycles = 0;
+    std::uint64_t memoryReads = 0;
+    std::uint64_t memoryWrites = 0;
+    /**
+     * Fetches from shared memory of a block whose last dirty copy was
+     * purged (ER/RP) and never written back: the software violated the
+     * write-once/read-once contract and read stale data.
+     */
+    std::uint64_t staleFetches = 0;
+
+    void
+    account(BusPattern pattern, Cycles cycles, Area area, PeId pe)
+    {
+        cyclesByPattern[static_cast<int>(pattern)] += cycles;
+        transByPattern[static_cast<int>(pattern)] += 1;
+        cyclesByArea[static_cast<int>(area)] += cycles;
+        if (pe < 64)
+            cyclesByPe[pe] += cycles;
+        totalCycles += cycles;
+    }
+
+    void clear() { *this = BusStats{}; }
+};
+
+/** Result of an F/FI transaction. */
+struct FetchResult {
+    bool lockHit = false;       ///< LH: inhibited; retry after UL.
+    bool supplied = false;      ///< H: data came from another cache.
+    bool supplierDirty = false; ///< Supplier copy was EM/SM.
+    Cycles completeAt = 0;      ///< Bus time when the transaction ends.
+};
+
+/** Result of an I transaction. */
+struct InvalidateResult {
+    bool lockHit = false;
+    /** Some invalidated remote copy was dirty; the requester must take
+     *  over dirty ownership (install EM/SM, not EC/S). */
+    bool droppedDirty = false;
+    Cycles completeAt = 0;
+};
+
+/**
+ * The common bus shared by all PEs and the memory modules.
+ *
+ * Single-owner resource: a transaction requested at time T starts at
+ * max(T, freeAt) and holds the bus for its full pattern cost (paper
+ * assumption 3: the bus is not freed until the operation completes).
+ */
+class Bus
+{
+  public:
+    Bus(const BusTiming& timing, PagedStore& memory);
+
+    /** Attach one PE's cache and lock directory snoopers. */
+    void attach(PeId pe, BusSnooper* cache, LockSnooper* locks);
+
+    /** Register the UL observer (at most one; typically the System). */
+    void setUnlockListener(UnlockListener* listener);
+
+    /**
+     * Issue F (or FI when @p invalidate). Lock directories are checked
+     * first; on LH the transaction aborts (lock-reject cycles). Otherwise
+     * the block is supplied cache-to-cache or from memory into
+     * @p data_out, and @p dirty_victim selects the with-swap-out timing.
+     * When @p with_lock, an LK for @p lock_word rides along.
+     */
+    FetchResult fetch(PeId requester, Addr block_addr, bool invalidate,
+                      bool with_lock, Addr lock_word, bool dirty_victim,
+                      Word* data_out, Cycles when, Area area);
+
+    /** Issue I (optionally with LK riding along). */
+    InvalidateResult invalidate(PeId requester, Addr block_addr,
+                                bool with_lock, Addr lock_word, Cycles when,
+                                Area area);
+
+    /**
+     * Move a victim block's data to shared memory. No bus cycles are
+     * charged here: the caller folds the transfer into the pattern of the
+     * operation that displaced the victim (fetch / swapOutOnly).
+     */
+    void writeBackData(Addr block_addr, const Word* data);
+
+    /**
+     * Swap-out-only pattern: a DW allocation displaced a dirty victim and
+     * no fetch follows. Charges bus cycles and writes the data back.
+     */
+    Cycles swapOutOnly(PeId requester, Addr victim_addr, const Word* data,
+                       Cycles when, Area area);
+
+    /** Broadcast UL for @p word_addr. */
+    Cycles unlockBroadcast(PeId requester, Addr word_addr, Cycles when,
+                           Area area);
+
+    /**
+     * Write one word straight to shared memory, invalidating every
+     * remote copy of its block (the write-through baseline's per-write
+     * bus transaction). Costs wordWriteCycles().
+     */
+    Cycles writeWordThrough(PeId requester, Addr word_addr, Word value,
+                            Cycles when, Area area);
+
+    /**
+     * Contract checker: note that a dirty block was purged without
+     * copy-back. A later fetch of the block from memory (before a fresh
+     * allocation or write-back overwrites it) counts as a stale fetch.
+     */
+    void markPurgedDirty(Addr block_addr);
+
+    /** Contract checker: a DW freshly allocated this block. */
+    void noteFreshAllocation(Addr block_addr);
+
+    /** Contract checker: forget all purge marks (used around GC). */
+    void clearPurgedMarks();
+
+    /** Read a block from shared memory without bus involvement (init). */
+    void readMemoryBlock(Addr block_addr, Word* data_out) const;
+
+    /** Write a block to shared memory without bus involvement (init). */
+    void writeMemoryBlock(Addr block_addr, const Word* data);
+
+    const BusTiming& timing() const { return timing_; }
+    BusStats& stats() { return stats_; }
+    const BusStats& stats() const { return stats_; }
+    Cycles freeAt() const { return freeAt_; }
+    PagedStore& memory() { return memory_; }
+
+  private:
+    struct Port {
+        PeId pe = 0;
+        BusSnooper* cache = nullptr;
+        LockSnooper* locks = nullptr;
+    };
+
+    /** LH check across all directories except the requester's. */
+    bool lockCheck(PeId requester, Addr block_addr);
+
+    BusTiming timing_;
+    PagedStore& memory_;
+    std::vector<Port> ports_;
+    UnlockListener* unlockListener_ = nullptr;
+    Cycles freeAt_ = 0;
+    BusStats stats_;
+    std::unordered_set<Addr> purgedDirty_;
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_BUS_BUS_H_

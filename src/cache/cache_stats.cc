@@ -1,0 +1,36 @@
+#include "cache/cache_stats.h"
+
+namespace pim {
+
+void
+CacheStats::merge(const CacheStats& other)
+{
+    accesses += other.accesses;
+    misses += other.misses;
+    for (int a = 0; a < kNumAreaSlots; ++a) {
+        accessesByArea[a] += other.accessesByArea[a];
+        missesByArea[a] += other.missesByArea[a];
+    }
+    evictions += other.evictions;
+    swapOuts += other.swapOuts;
+    lrCount += other.lrCount;
+    lrHit += other.lrHit;
+    lrHitExclusive += other.lrHitExclusive;
+    lrLockWaits += other.lrLockWaits;
+    unlockCount += other.unlockCount;
+    unlockNoWaiter += other.unlockNoWaiter;
+    dwAllocNoFetch += other.dwAllocNoFetch;
+    dwDemoted += other.dwDemoted;
+    dwSwapOutOnly += other.dwSwapOutOnly;
+    erAsRi += other.erAsRi;
+    erAsRp += other.erAsRp;
+    erAsR += other.erAsR;
+    rpCount += other.rpCount;
+    riCount += other.riCount;
+    riExclusive += other.riExclusive;
+    purges += other.purges;
+    purgedDirty += other.purgedDirty;
+    staleReads += other.staleReads;
+}
+
+} // namespace pim

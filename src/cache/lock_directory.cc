@@ -1,0 +1,91 @@
+#include "cache/lock_directory.h"
+
+#include "common/xassert.h"
+
+namespace pim {
+
+LockDirectory::LockDirectory(PeId owner, std::uint32_t entries)
+    : owner_(owner), entries_(entries), slots_(entries)
+{
+    PIM_ASSERT(entries >= 1);
+}
+
+void
+LockDirectory::acquire(Addr word_addr)
+{
+    PIM_ASSERT(!holds(word_addr), "pe", owner_,
+               " re-locking an address it already holds: ", word_addr);
+    for (Entry& slot : slots_) {
+        if (slot.state == LockState::EMP) {
+            slot.addr = word_addr;
+            slot.state = LockState::LCK;
+            return;
+        }
+    }
+    PIM_FATAL("lock directory of pe", owner_, " is full (", entries_,
+              " entries); the program nests more locks than the hardware "
+              "supports");
+}
+
+bool
+LockDirectory::holds(Addr word_addr) const
+{
+    for (const Entry& slot : slots_) {
+        if (slot.state != LockState::EMP && slot.addr == word_addr)
+            return true;
+    }
+    return false;
+}
+
+LockState
+LockDirectory::stateOf(Addr word_addr) const
+{
+    for (const Entry& slot : slots_) {
+        if (slot.state != LockState::EMP && slot.addr == word_addr)
+            return slot.state;
+    }
+    return LockState::EMP;
+}
+
+bool
+LockDirectory::release(Addr word_addr)
+{
+    for (Entry& slot : slots_) {
+        if (slot.state != LockState::EMP && slot.addr == word_addr) {
+            const bool had_waiter = slot.state == LockState::LWAIT;
+            slot.state = LockState::EMP;
+            slot.addr = kNoAddr;
+            return had_waiter;
+        }
+    }
+    PIM_PANIC("pe", owner_, " unlocking an address it does not hold: ",
+              word_addr);
+}
+
+std::uint32_t
+LockDirectory::heldCount() const
+{
+    std::uint32_t count = 0;
+    for (const Entry& slot : slots_) {
+        if (slot.state != LockState::EMP)
+            ++count;
+    }
+    return count;
+}
+
+bool
+LockDirectory::snoopLockCheck(Addr block_addr, std::uint32_t block_words)
+{
+    bool hit = false;
+    for (Entry& slot : slots_) {
+        if (slot.state != LockState::EMP &&
+            slot.addr >= block_addr &&
+            slot.addr < block_addr + block_words) {
+            slot.state = LockState::LWAIT;
+            hit = true;
+        }
+    }
+    return hit;
+}
+
+} // namespace pim

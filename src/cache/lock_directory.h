@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The per-PE hardware lock directory (paper Section 3.1).
+ *
+ * Separate from the cache directory so that (a) individual words of one
+ * block can be locked independently, (b) locks survive the swap-out of
+ * the block holding the locked word, and (c) cache tags carry no lock
+ * state. The directory snoops the bus: any remote F/FI/LK touching a
+ * block that contains a locked word is answered with LH and the entry
+ * moves LCK -> LWAIT, guaranteeing the eventual UL broadcast.
+ */
+
+#ifndef PIMCACHE_CACHE_LOCK_DIRECTORY_H_
+#define PIMCACHE_CACHE_LOCK_DIRECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/bus.h"
+#include "cache/state.h"
+#include "common/types.h"
+
+namespace pim {
+
+/** Word-granularity busy-wait lock directory for one PE. */
+class LockDirectory : public LockSnooper
+{
+  public:
+    /**
+     * @param owner PE owning this directory.
+     * @param entries Number of simultaneously held locks supported.
+     */
+    LockDirectory(PeId owner, std::uint32_t entries);
+
+    /**
+     * Register a lock on @p word_addr in the LCK state.
+     * Fatal if the directory is full or the word is already locked by
+     * this PE (the KL1 engine locks at most `entries` words, in address
+     * order).
+     */
+    void acquire(Addr word_addr);
+
+    /** True if this PE currently holds a lock on @p word_addr. */
+    bool holds(Addr word_addr) const;
+
+    /** State of the entry for @p word_addr (EMP if absent). */
+    LockState stateOf(Addr word_addr) const;
+
+    /**
+     * Drop the lock on @p word_addr.
+     * @return true if the entry was in LWAIT, i.e. a UL broadcast is
+     * required.
+     */
+    bool release(Addr word_addr);
+
+    /** Number of currently held locks. */
+    std::uint32_t heldCount() const;
+
+    /** Entries supported. */
+    std::uint32_t capacity() const { return entries_; }
+
+    // LockSnooper interface -----------------------------------------------
+    bool snoopLockCheck(Addr block_addr,
+                        std::uint32_t block_words) override;
+
+  private:
+    struct Entry {
+        Addr addr = kNoAddr;
+        LockState state = LockState::EMP;
+    };
+
+    PeId owner_;
+    std::uint32_t entries_;
+    std::vector<Entry> slots_;
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_CACHE_LOCK_DIRECTORY_H_

@@ -1,0 +1,625 @@
+#include "cache/pim_cache.h"
+
+#include <algorithm>
+
+#include "common/xassert.h"
+
+namespace pim {
+
+PimCache::PimCache(PeId pe, const CacheConfig& config, Bus& bus)
+    : pe_(pe),
+      config_(config),
+      bus_(bus),
+      locks_(pe, config.lockEntries),
+      blocks_(static_cast<std::size_t>(config.geometry.sets) *
+              config.geometry.ways),
+      data_(static_cast<std::size_t>(config.geometry.sets) *
+            config.geometry.ways * config.geometry.blockWords)
+{
+    config_.geometry.validate();
+    PIM_ASSERT(config_.geometry.blockWords == bus.timing().blockWords,
+               "cache block size must match the bus timing block size");
+    bus_.attach(pe_, this, &locks_);
+}
+
+std::uint32_t
+PimCache::setIndexOf(Addr block_base) const
+{
+    const Addr block_number = block_base / config_.geometry.blockWords;
+    return static_cast<std::uint32_t>(block_number &
+                                      (config_.geometry.sets - 1));
+}
+
+Addr
+PimCache::blockBaseOf(Addr addr) const
+{
+    return addr - addr % config_.geometry.blockWords;
+}
+
+PimCache::Block*
+PimCache::findBlock(Addr block_base)
+{
+    const std::uint32_t set = setIndexOf(block_base);
+    Block* begin = &blocks_[static_cast<std::size_t>(set) *
+                            config_.geometry.ways];
+    for (std::uint32_t way = 0; way < config_.geometry.ways; ++way) {
+        Block& block = begin[way];
+        if (block.state != CacheState::INV && block.base == block_base)
+            return &block;
+    }
+    return nullptr;
+}
+
+const PimCache::Block*
+PimCache::findBlock(Addr block_base) const
+{
+    return const_cast<PimCache*>(this)->findBlock(block_base);
+}
+
+Word*
+PimCache::blockData(const Block& block)
+{
+    const std::size_t index = &block - blocks_.data();
+    return &data_[index * config_.geometry.blockWords];
+}
+
+const Word*
+PimCache::blockData(const Block& block) const
+{
+    const std::size_t index = &block - blocks_.data();
+    return &data_[index * config_.geometry.blockWords];
+}
+
+void
+PimCache::touchLru(Block& block)
+{
+    block.lru = ++lruTick_;
+}
+
+PimCache::Block&
+PimCache::victimIn(std::uint32_t set)
+{
+    Block* begin = &blocks_[static_cast<std::size_t>(set) *
+                            config_.geometry.ways];
+    Block* victim = begin;
+    for (std::uint32_t way = 0; way < config_.geometry.ways; ++way) {
+        Block& block = begin[way];
+        if (block.state == CacheState::INV)
+            return block;
+        if (block.lru < victim->lru)
+            victim = &block;
+    }
+    return *victim;
+}
+
+PimCache::FetchOutcome
+PimCache::fetchBlock(Addr block_base, bool invalidate, bool with_lock,
+                     Addr lock_word, bool install, Word* scratch, Cycles now,
+                     Area area)
+{
+    FetchOutcome outcome;
+    Block* victim = nullptr;
+    bool dirty_victim = false;
+    if (install) {
+        victim = &victimIn(setIndexOf(block_base));
+        dirty_victim = victim->state != CacheState::INV &&
+                       cacheStateDirty(victim->state);
+    }
+
+    // Fetch into a bounce buffer; only commit the eviction on success.
+    Word buffer[64];
+    PIM_ASSERT(config_.geometry.blockWords <= 64);
+    const FetchResult result =
+        bus_.fetch(pe_, block_base, invalidate, with_lock, lock_word,
+                   dirty_victim, buffer, now, area);
+    if (result.lockHit) {
+        outcome.lockWait = true;
+        outcome.doneAt = result.completeAt;
+        return outcome;
+    }
+
+    outcome.supplied = result.supplied;
+    outcome.supplierDirty = result.supplierDirty;
+    outcome.doneAt = result.completeAt;
+
+    if (install) {
+        if (victim->state != CacheState::INV) {
+            stats_.evictions += 1;
+            if (cacheStateDirty(victim->state)) {
+                stats_.swapOuts += 1;
+                bus_.writeBackData(victim->base, blockData(*victim));
+            }
+        }
+        victim->base = block_base;
+        victim->state = CacheState::INV; // caller sets the final state
+        touchLru(*victim);
+        std::copy(buffer, buffer + config_.geometry.blockWords,
+                  blockData(*victim));
+        outcome.block = victim;
+    } else if (scratch != nullptr) {
+        std::copy(buffer, buffer + config_.geometry.blockWords, scratch);
+    }
+    return outcome;
+}
+
+void
+PimCache::purgeBlock(Block& block)
+{
+    stats_.purges += 1;
+    if (cacheStateDirty(block.state)) {
+        stats_.purgedDirty += 1;
+        bus_.markPurgedDirty(block.base);
+    }
+    block.state = CacheState::INV;
+    block.base = kNoAddr;
+}
+
+void
+PimCache::countAccess(const MemRef& ref, bool miss)
+{
+    stats_.accesses += 1;
+    stats_.accessesByArea[static_cast<int>(ref.area)] += 1;
+    if (miss) {
+        stats_.misses += 1;
+        stats_.missesByArea[static_cast<int>(ref.area)] += 1;
+    }
+}
+
+PimCache::AccessResult
+PimCache::access(const MemRef& ref, Word wdata, Cycles now)
+{
+    PIM_ASSERT(ref.pe == pe_, "reference routed to the wrong PE cache");
+    if (config_.writeThrough && demoteMemOp(ref.op) != ref.op) {
+        // The optimized commands presuppose copy-back; the write-through
+        // baseline executes their plain equivalents.
+        MemRef plain = ref;
+        plain.op = demoteMemOp(ref.op);
+        return access(plain, wdata, now);
+    }
+    switch (ref.op) {
+      case MemOp::R:  return doRead(ref, now);
+      case MemOp::W:  return doWrite(ref, wdata, now);
+      case MemOp::LR: return doLockRead(ref, now);
+      case MemOp::UW: return doUnlock(ref, true, wdata, now);
+      case MemOp::U:  return doUnlock(ref, false, 0, now);
+      case MemOp::DW: return doDirectWrite(ref, wdata, false, now);
+      case MemOp::DWD: return doDirectWrite(ref, wdata, true, now);
+      case MemOp::ER: return doExclusiveRead(ref, now);
+      case MemOp::RP: return doReadPurge(ref, now);
+      case MemOp::RI: return doReadInvalidate(ref, now);
+    }
+    PIM_PANIC("unknown memory operation");
+}
+
+PimCache::AccessResult
+PimCache::doRead(const MemRef& ref, Cycles now)
+{
+    AccessResult result;
+    const Addr base = blockBaseOf(ref.addr);
+    if (Block* block = findBlock(base)) {
+        touchLru(*block);
+        result.data = blockData(*block)[ref.addr - base];
+        result.doneAt = now + config_.hitCycles;
+        countAccess(ref, false);
+        return result;
+    }
+    const FetchOutcome outcome =
+        fetchBlock(base, false, false, 0, true, nullptr, now, ref.area);
+    if (outcome.lockWait) {
+        result.lockWait = true;
+        result.waitAddr = base;
+        result.doneAt = outcome.doneAt;
+        return result;
+    }
+    Block& block = *outcome.block;
+    if (outcome.supplied) {
+        block.state = outcome.supplierDirty ? CacheState::SM
+                                            : CacheState::S;
+    } else {
+        block.state = CacheState::EC;
+    }
+    result.data = blockData(block)[ref.addr - base];
+    result.doneAt = outcome.doneAt;
+    countAccess(ref, true);
+    return result;
+}
+
+PimCache::AccessResult
+PimCache::doWrite(const MemRef& ref, Word wdata, Cycles now)
+{
+    AccessResult result;
+    const Addr base = blockBaseOf(ref.addr);
+    if (config_.writeThrough) {
+        // Every write goes on the bus; no allocation on a write miss;
+        // our copy (if any) stays valid and is now the only one.
+        if (Block* block = findBlock(base)) {
+            blockData(*block)[ref.addr - base] = wdata;
+            block->state = CacheState::EC;
+            touchLru(*block);
+        }
+        result.doneAt =
+            bus_.writeWordThrough(pe_, ref.addr, wdata, now, ref.area);
+        countAccess(ref, false);
+        return result;
+    }
+    if (Block* block = findBlock(base)) {
+        touchLru(*block);
+        if (block->state == CacheState::S || block->state == CacheState::SM) {
+            const InvalidateResult inv =
+                bus_.invalidate(pe_, base, false, 0, now, ref.area);
+            result.doneAt = inv.completeAt;
+        } else {
+            result.doneAt = now + config_.hitCycles;
+        }
+        block->state = CacheState::EM;
+        blockData(*block)[ref.addr - base] = wdata;
+        countAccess(ref, false);
+        return result;
+    }
+    // Write miss: fetch-on-write with invalidation (FI).
+    const FetchOutcome outcome =
+        fetchBlock(base, true, false, 0, true, nullptr, now, ref.area);
+    if (outcome.lockWait) {
+        result.lockWait = true;
+        result.waitAddr = base;
+        result.doneAt = outcome.doneAt;
+        return result;
+    }
+    Block& block = *outcome.block;
+    block.state = CacheState::EM;
+    blockData(block)[ref.addr - base] = wdata;
+    result.doneAt = outcome.doneAt;
+    countAccess(ref, true);
+    return result;
+}
+
+PimCache::AccessResult
+PimCache::doLockRead(const MemRef& ref, Cycles now)
+{
+    AccessResult result;
+    const Addr base = blockBaseOf(ref.addr);
+    Block* block = findBlock(base);
+
+    if (block != nullptr && cacheStateExclusive(block->state)) {
+        // Zero-bus-cycle lock: the paper's key lock optimization.
+        locks_.acquire(ref.addr);
+        touchLru(*block);
+        result.data = blockData(*block)[ref.addr - base];
+        result.doneAt = now + config_.hitCycles;
+        countAccess(ref, false);
+        stats_.lrCount += 1;
+        stats_.lrHit += 1;
+        stats_.lrHitExclusive += 1;
+        return result;
+    }
+
+    if (block != nullptr) {
+        // Shared hit: LK rides with an I command to gain exclusiveness.
+        const InvalidateResult inv =
+            bus_.invalidate(pe_, base, true, ref.addr, now, ref.area);
+        if (inv.lockHit) {
+            stats_.lrLockWaits += 1;
+            result.lockWait = true;
+            result.waitAddr = base;
+            result.doneAt = inv.completeAt;
+            return result;
+        }
+        // If the invalidation dropped a dirty remote copy, its dirtiness
+        // migrates here; otherwise keep our own cleanliness.
+        if (block->state == CacheState::SM || inv.droppedDirty) {
+            block->state = CacheState::EM;
+        } else {
+            block->state = CacheState::EC;
+        }
+        locks_.acquire(ref.addr);
+        touchLru(*block);
+        result.data = blockData(*block)[ref.addr - base];
+        result.doneAt = inv.completeAt;
+        countAccess(ref, false);
+        stats_.lrCount += 1;
+        stats_.lrHit += 1;
+        return result;
+    }
+
+    // Miss: LK rides with FI.
+    const FetchOutcome outcome =
+        fetchBlock(base, true, true, ref.addr, true, nullptr, now, ref.area);
+    if (outcome.lockWait) {
+        stats_.lrLockWaits += 1;
+        result.lockWait = true;
+        result.waitAddr = base;
+        result.doneAt = outcome.doneAt;
+        return result;
+    }
+    Block& fetched = *outcome.block;
+    fetched.state = outcome.supplierDirty ? CacheState::EM : CacheState::EC;
+    locks_.acquire(ref.addr);
+    result.data = blockData(fetched)[ref.addr - base];
+    result.doneAt = outcome.doneAt;
+    countAccess(ref, true);
+    stats_.lrCount += 1;
+    return result;
+}
+
+PimCache::AccessResult
+PimCache::doUnlock(const MemRef& ref, bool write, Word wdata, Cycles now)
+{
+    PIM_ASSERT(locks_.holds(ref.addr), "pe", pe_,
+               " unlocking an address it did not lock: ", ref.addr);
+    AccessResult result;
+    const Addr base = blockBaseOf(ref.addr);
+    Block* block = findBlock(base);
+    bool miss = false;
+    Cycles when = now;
+
+    if (write && config_.writeThrough) {
+        if (block != nullptr) {
+            blockData(*block)[ref.addr - base] = wdata;
+            block->state = CacheState::EC;
+            touchLru(*block);
+        }
+        when = bus_.writeWordThrough(pe_, ref.addr, wdata, now, ref.area);
+    } else if (write) {
+        if (block == nullptr) {
+            // The locked block was swapped out while locked; refetch.
+            // Remote lock directories cannot answer LH here: while we
+            // hold a lock in this block, no other PE can acquire one.
+            const FetchOutcome outcome = fetchBlock(
+                base, true, false, 0, true, nullptr, now, ref.area);
+            PIM_ASSERT(!outcome.lockWait,
+                       "UW inhibited by a foreign lock in a block this PE "
+                       "holds locked");
+            block = outcome.block;
+            block->state = outcome.supplierDirty ? CacheState::EM
+                                                 : CacheState::EC;
+            when = outcome.doneAt;
+            miss = true;
+        }
+        PIM_ASSERT(cacheStateExclusive(block->state),
+                   "locked block unexpectedly shared on UW");
+        block->state = CacheState::EM;
+        blockData(*block)[ref.addr - base] = wdata;
+        touchLru(*block);
+    }
+
+    const bool had_waiter = locks_.release(ref.addr);
+    stats_.unlockCount += 1;
+    if (had_waiter) {
+        result.doneAt = bus_.unlockBroadcast(pe_, ref.addr, when, ref.area);
+    } else {
+        stats_.unlockNoWaiter += 1;
+        result.doneAt = std::max(when, now + config_.hitCycles);
+    }
+    countAccess(ref, miss);
+    return result;
+}
+
+PimCache::AccessResult
+PimCache::doDirectWrite(const MemRef& ref, Word wdata, bool downward,
+                        Cycles now)
+{
+    const Addr base = blockBaseOf(ref.addr);
+    // DW allocates at the first word of a block (upward-growing areas);
+    // DWD at the last word (downward-growing stacks) — the "two
+    // commands" of paper Section 3.2.
+    const bool boundary =
+        downward ? ref.addr == base + config_.geometry.blockWords - 1
+                 : ref.addr == base;
+    if (!boundary || findBlock(base) != nullptr) {
+        // Rule (ii): the controller automatically replaces DW with W.
+        stats_.dwDemoted += 1;
+        return doWrite(ref, wdata, now);
+    }
+
+    // Rule (i): allocate without fetching from shared memory. Software
+    // guarantees no remote cache holds this block.
+    AccessResult result;
+    Block& victim = victimIn(setIndexOf(base));
+    Cycles done = now + config_.hitCycles;
+    if (victim.state != CacheState::INV) {
+        stats_.evictions += 1;
+        if (cacheStateDirty(victim.state)) {
+            stats_.swapOuts += 1;
+            stats_.dwSwapOutOnly += 1;
+            done = bus_.swapOutOnly(pe_, victim.base, blockData(victim), now,
+                                    ref.area);
+        }
+    }
+    victim.base = base;
+    victim.state = CacheState::EM;
+    touchLru(victim);
+    Word* words = blockData(victim);
+    std::fill(words, words + config_.geometry.blockWords, Word{0});
+    words[ref.addr - base] = wdata;
+    bus_.noteFreshAllocation(base);
+    stats_.dwAllocNoFetch += 1;
+    result.doneAt = done;
+    countAccess(ref, false);
+    return result;
+}
+
+PimCache::AccessResult
+PimCache::doExclusiveRead(const MemRef& ref, Cycles now)
+{
+    const Addr base = blockBaseOf(ref.addr);
+    const bool last_word =
+        ref.addr - base == config_.geometry.blockWords - 1;
+    Block* block = findBlock(base);
+
+    if (block != nullptr && last_word) {
+        // Case (ii): read the last word, then purge our own copy.
+        AccessResult result;
+        result.data = blockData(*block)[ref.addr - base];
+        stats_.erAsRp += 1;
+        purgeBlock(*block);
+        result.doneAt = now + config_.hitCycles;
+        countAccess(ref, false);
+        return result;
+    }
+
+    if (block == nullptr && !last_word) {
+        // Case (i): read-invalidate the supplier (FI fetch).
+        AccessResult result;
+        const FetchOutcome outcome = fetchBlock(base, true, false, 0, true,
+                                                nullptr, now, ref.area);
+        if (outcome.lockWait) {
+            result.lockWait = true;
+            result.waitAddr = base;
+            result.doneAt = outcome.doneAt;
+            return result;
+        }
+        Block& fetched = *outcome.block;
+        fetched.state = outcome.supplierDirty ? CacheState::EM
+                                              : CacheState::EC;
+        result.data = blockData(fetched)[ref.addr - base];
+        result.doneAt = outcome.doneAt;
+        stats_.erAsRi += 1;
+        countAccess(ref, true);
+        return result;
+    }
+
+    // Case (iii): plain read.
+    stats_.erAsR += 1;
+    return doRead(ref, now);
+}
+
+PimCache::AccessResult
+PimCache::doReadPurge(const MemRef& ref, Cycles now)
+{
+    AccessResult result;
+    const Addr base = blockBaseOf(ref.addr);
+    stats_.rpCount += 1;
+    if (Block* block = findBlock(base)) {
+        // Case (i): read, then purge our own copy.
+        result.data = blockData(*block)[ref.addr - base];
+        purgeBlock(*block);
+        result.doneAt = now + config_.hitCycles;
+        countAccess(ref, false);
+        return result;
+    }
+    // Case (ii): fetch (invalidating any supplier), read, do not keep.
+    Word scratch[64];
+    PIM_ASSERT(config_.geometry.blockWords <= 64);
+    const FetchOutcome outcome =
+        fetchBlock(base, true, false, 0, false, scratch, now, ref.area);
+    if (outcome.lockWait) {
+        result.lockWait = true;
+        result.waitAddr = base;
+        result.doneAt = outcome.doneAt;
+        return result;
+    }
+    if (outcome.supplied && outcome.supplierDirty) {
+        // The dirty contents are dead by contract; dropping them without
+        // copy-back is the swap-out this command exists to avoid.
+        bus_.markPurgedDirty(base);
+    }
+    result.data = scratch[ref.addr - base];
+    result.doneAt = outcome.doneAt;
+    countAccess(ref, true);
+    return result;
+}
+
+PimCache::AccessResult
+PimCache::doReadInvalidate(const MemRef& ref, Cycles now)
+{
+    const Addr base = blockBaseOf(ref.addr);
+    stats_.riCount += 1;
+    if (findBlock(base) != nullptr)
+        return doRead(ref, now);
+
+    // Miss: fetch with invalidation so the imminent rewrite needs no I.
+    AccessResult result;
+    const FetchOutcome outcome =
+        fetchBlock(base, true, false, 0, true, nullptr, now, ref.area);
+    if (outcome.lockWait) {
+        result.lockWait = true;
+        result.waitAddr = base;
+        result.doneAt = outcome.doneAt;
+        return result;
+    }
+    Block& block = *outcome.block;
+    block.state = outcome.supplierDirty ? CacheState::EM : CacheState::EC;
+    result.data = blockData(block)[ref.addr - base];
+    result.doneAt = outcome.doneAt;
+    stats_.riExclusive += 1;
+    countAccess(ref, true);
+    return result;
+}
+
+void
+PimCache::flushAll()
+{
+    for (Block& block : blocks_) {
+        if (block.state == CacheState::INV)
+            continue;
+        if (cacheStateDirty(block.state))
+            bus_.writeMemoryBlock(block.base, blockData(block));
+        block.state = CacheState::INV;
+        block.base = kNoAddr;
+    }
+}
+
+CacheState
+PimCache::stateOf(Addr addr) const
+{
+    const Block* block = findBlock(blockBaseOf(addr));
+    return block == nullptr ? CacheState::INV : block->state;
+}
+
+bool
+PimCache::present(Addr addr) const
+{
+    return findBlock(blockBaseOf(addr)) != nullptr;
+}
+
+Word
+PimCache::loadValue(Addr addr) const
+{
+    const Addr base = blockBaseOf(addr);
+    if (const Block* block = findBlock(base))
+        return blockData(*block)[addr - base];
+    return bus_.memory().read(addr);
+}
+
+BusSnooper::FetchReply
+PimCache::snoopFetch(Addr block_addr, bool invalidate, Word* data_out)
+{
+    Block* block = findBlock(block_addr);
+    if (block == nullptr)
+        return {false, false};
+
+    std::copy(blockData(*block),
+              blockData(*block) + config_.geometry.blockWords, data_out);
+    const bool was_dirty = cacheStateDirty(block->state);
+
+    if (invalidate) {
+        block->state = CacheState::INV;
+        block->base = kNoAddr;
+        return {true, was_dirty};
+    }
+
+    if (config_.copybackOnShare && was_dirty) {
+        // Illinois-style baseline: shared memory snarfs the transfer, the
+        // block becomes clean everywhere (no SM state).
+        bus_.writeBackData(block_addr, blockData(*block));
+        block->state = CacheState::S;
+        return {true, false};
+    }
+
+    block->state = CacheState::S;
+    return {true, was_dirty};
+}
+
+bool
+PimCache::snoopInvalidate(Addr block_addr)
+{
+    Block* block = findBlock(block_addr);
+    if (block == nullptr)
+        return false;
+    const bool was_dirty = cacheStateDirty(block->state);
+    block->state = CacheState::INV;
+    block->base = kNoAddr;
+    return was_dirty;
+}
+
+} // namespace pim

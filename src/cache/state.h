@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cache-block and lock-directory states (paper Section 3.1).
+ */
+
+#ifndef PIMCACHE_CACHE_STATE_H_
+#define PIMCACHE_CACHE_STATE_H_
+
+#include <cstdint>
+
+namespace pim {
+
+/**
+ * The five PIM cache states. This is the Illinois protocol plus SM: a
+ * block received dirty via cache-to-cache transfer stays dirty in the
+ * receiver (no copy-back to shared memory during the transfer), but may
+ * be shared with the supplier's (clean) copy.
+ */
+enum class CacheState : std::uint8_t {
+    INV = 0, ///< Invalid.
+    S = 1,   ///< Shared (perhaps), unmodified: no swap-out needed.
+    SM = 2,  ///< Shared (perhaps), modified: swap-out needed.
+    EC = 3,  ///< Exclusive clean: no swap-out needed.
+    EM = 4,  ///< Exclusive modified: swap-out needed.
+};
+
+/** Mnemonic as used in the paper. */
+inline const char*
+cacheStateName(CacheState state)
+{
+    switch (state) {
+      case CacheState::INV: return "INV";
+      case CacheState::S:   return "S";
+      case CacheState::SM:  return "SM";
+      case CacheState::EC:  return "EC";
+      case CacheState::EM:  return "EM";
+    }
+    return "?";
+}
+
+/** The block's data differs from shared memory (swap-out needed). */
+inline bool
+cacheStateDirty(CacheState state)
+{
+    return state == CacheState::EM || state == CacheState::SM;
+}
+
+/** No other cache may hold the block. */
+inline bool
+cacheStateExclusive(CacheState state)
+{
+    return state == CacheState::EM || state == CacheState::EC;
+}
+
+/** Lock-directory entry states (paper Section 3.1). */
+enum class LockState : std::uint8_t {
+    EMP = 0,   ///< Empty entry.
+    LCK = 1,   ///< Locked; no other PE is waiting.
+    LWAIT = 2, ///< Locked; one or more PEs are busy-waiting.
+};
+
+/** Mnemonic as used in the paper. */
+inline const char*
+lockStateName(LockState state)
+{
+    switch (state) {
+      case LockState::EMP:   return "EMP";
+      case LockState::LCK:   return "LCK";
+      case LockState::LWAIT: return "LWAIT";
+    }
+    return "?";
+}
+
+} // namespace pim
+
+#endif // PIMCACHE_CACHE_STATE_H_

@@ -1,0 +1,65 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pim {
+
+namespace {
+
+LogLevel
+initialLevel()
+{
+    const char* env = std::getenv("PIM_LOG");
+    if (env == nullptr)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "error") == 0)
+        return LogLevel::Error;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "trace") == 0)
+        return LogLevel::Trace;
+    return LogLevel::Warn;
+}
+
+LogLevel gLevel = initialLevel();
+
+const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Trace: return "TRACE";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+void
+logLine(LogLevel level, const std::string& msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+} // namespace pim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal leveled logging to stderr.
+ *
+ * Level is process global and settable from the PIM_LOG environment
+ * variable (error, warn, info, debug, trace). Defaults to warn so tests
+ * and benches stay quiet.
+ */
+
+#ifndef PIMCACHE_COMMON_LOG_H_
+#define PIMCACHE_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace pim {
+
+enum class LogLevel : int {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+};
+
+/** Current global log level. */
+LogLevel logLevel();
+
+/** Override the global log level. */
+void setLogLevel(LogLevel level);
+
+/** Emit one log line (no newline needed) if level is enabled. */
+void logLine(LogLevel level, const std::string& msg);
+
+/** True if a message at @p level would be emitted. */
+inline bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <= static_cast<int>(logLevel());
+}
+
+} // namespace pim
+
+#define PIM_LOG(level, ...)                                                 \
+    do {                                                                    \
+        if (::pim::logEnabled(level)) {                                     \
+            std::ostringstream os_;                                         \
+            os_ << __VA_ARGS__;                                             \
+            ::pim::logLine(level, os_.str());                               \
+        }                                                                   \
+    } while (0)
+
+#define PIM_INFO(...)  PIM_LOG(::pim::LogLevel::Info, __VA_ARGS__)
+#define PIM_WARN(...)  PIM_LOG(::pim::LogLevel::Warn, __VA_ARGS__)
+#define PIM_DEBUG(...) PIM_LOG(::pim::LogLevel::Debug, __VA_ARGS__)
+#define PIM_TRACE(...) PIM_LOG(::pim::LogLevel::Trace, __VA_ARGS__)
+
+#endif // PIMCACHE_COMMON_LOG_H_

@@ -1,0 +1,96 @@
+#include "common/strutil.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace pim {
+
+std::string
+fmtFixed(double value, int places)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", places, value);
+    return buf;
+}
+
+std::string
+fmtPct(double fraction, int places)
+{
+    return fmtFixed(fraction * 100.0, places);
+}
+
+std::string
+fmtCount(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count != 0 && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+fmtEng(double value, int places)
+{
+    const char* suffix = "";
+    double scaled = value;
+    if (std::fabs(value) >= 1e9) {
+        scaled = value / 1e9;
+        suffix = "G";
+    } else if (std::fabs(value) >= 1e6) {
+        scaled = value / 1e6;
+        suffix = "M";
+    } else if (std::fabs(value) >= 1e3) {
+        scaled = value / 1e3;
+        suffix = "K";
+    }
+    return fmtFixed(scaled, places) + suffix;
+}
+
+std::vector<std::string>
+splitString(const std::string& text, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == delim) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+trimString(const std::string& text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+bool
+startsWith(const std::string& text, const std::string& prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace pim

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small string formatting helpers used by tables, logs and CLIs.
+ */
+
+#ifndef PIMCACHE_COMMON_STRUTIL_H_
+#define PIMCACHE_COMMON_STRUTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pim {
+
+/** Format with fixed decimal places, e.g. fmtFixed(3.14159, 2) == "3.14". */
+std::string fmtFixed(double value, int places);
+
+/** Format a percentage with @p places decimals, e.g. "42.87". */
+std::string fmtPct(double fraction, int places = 2);
+
+/** Group thousands with commas, e.g. 1234567 -> "1,234,567". */
+std::string fmtCount(std::uint64_t value);
+
+/** Compact engineering format, e.g. 13000000 -> "13.0M". */
+std::string fmtEng(double value, int places = 1);
+
+/** Split on a delimiter character; empty fields preserved. */
+std::vector<std::string> splitString(const std::string& text, char delim);
+
+/** Strip ASCII whitespace from both ends. */
+std::string trimString(const std::string& text);
+
+/** True if @p text starts with @p prefix. */
+bool startsWith(const std::string& text, const std::string& prefix);
+
+} // namespace pim
+
+#endif // PIMCACHE_COMMON_STRUTIL_H_

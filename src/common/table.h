@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ASCII table builder for bench output.
+ *
+ * The bench binaries print paper-style tables; this keeps the column
+ * alignment logic in one place.
+ */
+
+#ifndef PIMCACHE_COMMON_TABLE_H_
+#define PIMCACHE_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pim {
+
+/** A simple right-aligned-numbers ASCII table. */
+class Table
+{
+  public:
+    /** @param title Caption printed above the table (may be empty). */
+    explicit Table(std::string title = "");
+
+    /** Set the header row. Resets column count. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append one data row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addRule();
+
+    /** Render to a stream. */
+    void print(std::ostream& os) const;
+
+    /** Render to a string. */
+    std::string toString() const;
+
+  private:
+    static constexpr const char* kRuleMark = "\x01rule";
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_COMMON_TABLE_H_

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module.
+ *
+ * The simulated machine is word addressed: an Addr names one machine word
+ * (the paper's PIM uses 40-bit words; we model the word contents with a
+ * 64-bit host word). Cycle counts are common-bus cycles unless a variable
+ * name says otherwise.
+ */
+
+#ifndef PIMCACHE_COMMON_TYPES_H_
+#define PIMCACHE_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace pim {
+
+/** A word address in the shared address space (word granularity). */
+using Addr = std::uint64_t;
+
+/** Contents of one simulated machine word. */
+using Word = std::uint64_t;
+
+/** A simulated time stamp or duration, in cycles. */
+using Cycles = std::uint64_t;
+
+/** Processing-element identifier (0-based). */
+using PeId = std::uint32_t;
+
+/** Sentinel for "no PE". */
+inline constexpr PeId kNoPe = static_cast<PeId>(-1);
+
+/** Sentinel for "no address". */
+inline constexpr Addr kNoAddr = static_cast<Addr>(-1);
+
+} // namespace pim
+
+#endif // PIMCACHE_COMMON_TYPES_H_

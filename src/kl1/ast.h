@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Abstract syntax for Flat Guarded Horn Clauses (paper Section 2.1).
+ *
+ * A program is a set of procedures; a procedure is the clauses sharing
+ * one name/arity; a clause is  H :- G1,...,Gm | B1,...,Bn.  with
+ * builtin-only guards. A clause without ':-' is  H :- true | true.  and
+ * a clause without '|' has an empty guard.
+ */
+
+#ifndef PIMCACHE_KL1_AST_H_
+#define PIMCACHE_KL1_AST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pim::kl1 {
+
+/** A parsed source term. */
+struct PTerm {
+    enum class Kind {
+        Var,    ///< Variable (name; "_" is anonymous and never shared).
+        Atom,   ///< Constant, including '[]'.
+        Int,    ///< Integer literal.
+        List,   ///< Cons cell [head | tail].
+        Struct, ///< name(args...).
+    };
+
+    Kind kind = Kind::Atom;
+    std::string name;            ///< Var / Atom / Struct name.
+    std::int64_t value = 0;      ///< Int value.
+    std::vector<PTerm> args;     ///< List: {head, tail}; Struct: args.
+
+    static PTerm
+    var(std::string n)
+    {
+        PTerm t;
+        t.kind = Kind::Var;
+        t.name = std::move(n);
+        return t;
+    }
+
+    static PTerm
+    atom(std::string n)
+    {
+        PTerm t;
+        t.kind = Kind::Atom;
+        t.name = std::move(n);
+        return t;
+    }
+
+    static PTerm
+    integer(std::int64_t v)
+    {
+        PTerm t;
+        t.kind = Kind::Int;
+        t.value = v;
+        return t;
+    }
+
+    static PTerm
+    nil()
+    {
+        return atom("[]");
+    }
+
+    static PTerm
+    list(PTerm head, PTerm tail)
+    {
+        PTerm t;
+        t.kind = Kind::List;
+        t.args.push_back(std::move(head));
+        t.args.push_back(std::move(tail));
+        return t;
+    }
+
+    static PTerm
+    structure(std::string n, std::vector<PTerm> a)
+    {
+        PTerm t;
+        t.kind = Kind::Struct;
+        t.name = std::move(n);
+        t.args = std::move(a);
+        return t;
+    }
+
+    bool isAnonymousVar() const { return kind == Kind::Var && name == "_"; }
+
+    /** Render for diagnostics. */
+    std::string toString() const;
+};
+
+/** One goal in a guard or body: an atom or a structure call. */
+using Goal = PTerm;
+
+/** One clause. */
+struct Clause {
+    PTerm head;               ///< Atom (arity 0) or Struct.
+    std::vector<Goal> guards; ///< Builtin-only tests.
+    std::vector<Goal> body;   ///< Body goals and builtins.
+    int line = 0;             ///< Source line of the head.
+};
+
+/** One procedure: all clauses of the same name/arity, in source order. */
+struct Procedure {
+    std::string name;
+    std::uint32_t arity = 0;
+    std::vector<Clause> clauses;
+};
+
+/** A parsed program. */
+struct Program {
+    std::vector<Procedure> procedures;
+    std::map<std::string, std::size_t> index; ///< "name/arity" -> slot.
+
+    /** Find a procedure (nullptr if absent). */
+    const Procedure*
+    find(const std::string& name, std::uint32_t arity) const
+    {
+        const auto it = index.find(name + "/" + std::to_string(arity));
+        return it == index.end() ? nullptr : &procedures[it->second];
+    }
+};
+
+} // namespace pim::kl1
+
+#endif // PIMCACHE_KL1_AST_H_

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Stop-and-copy garbage collection for the KL1 heap.
+ *
+ * The paper's system "uses stop-and-copy GC" (Section 4), and notes that
+ * GC-related references are excluded from the measurements; accordingly
+ * the collector here operates directly on shared memory (no cache
+ * traffic is charged), with every cache flushed before the collection
+ * and left cold afterwards — the honest cost a stop-and-copy collector
+ * imposes on the cache statistics.
+ *
+ * Design: each PE's heap segment is split into two semispaces. A
+ * collection copies every live heap object (variable cells, cons cells,
+ * structures) into the to-space of the segment-owning PE, Cheney-style,
+ * with forwarding words (tag Fwd) left in from-space. Roots:
+ *
+ *  - every machine's register file, current goal arguments and suspend
+ *    candidates;
+ *  - every queued goal record (goal lists, donations in flight, reply
+ *    slots) — their argument words are rewritten in place;
+ *  - floating goal records, reached through HOOK words (suspension
+ *    lists) or through pending resumption micro-operations whose
+ *    sequence numbers still match;
+ *  - the named query variables.
+ *
+ * A collection may only run at a quiescent point: no PE parked on a
+ * lock (hence no lock held) and no goal-record fetch in progress. The
+ * Emulator defers requested collections until that holds.
+ */
+
+#ifndef PIMCACHE_KL1_GC_H_
+#define PIMCACHE_KL1_GC_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pim::kl1 {
+
+class Emulator;
+
+/** Statistics of all collections in a run. */
+struct GcStats {
+    std::uint64_t collections = 0;
+    std::uint64_t wordsCopied = 0;
+    std::uint64_t cellsCopied = 0;   ///< Objects (cells/conses/structs).
+    std::uint64_t wordsReclaimed = 0;
+};
+
+/** One stop-and-copy collection over all PE heaps. */
+class GcCollector
+{
+  public:
+    explicit GcCollector(Emulator& emu);
+
+    /** Run the collection. Caller guarantees quiescence. */
+    void collect();
+
+  private:
+    struct Segment {
+        Addr fromBase = 0;
+        Addr fromEnd = 0;
+        Addr toBase = 0;
+        Addr toCursor = 0;
+        Addr toEnd = 0;
+    };
+
+    bool inFromSpace(Addr addr) const;
+    PeId segmentOwner(Addr addr) const;
+
+    /** Relocate one term word (copying its target if needed). */
+    Word relocate(Word w);
+
+    /** Copy an object of @p nwords at @p addr; return the new address. */
+    Addr copyObject(Addr addr, std::uint32_t nwords);
+
+    /** Scan a to-space range, relocating every word in it. */
+    void scanRange(Addr base, std::uint32_t nwords);
+
+    /** Scan a suspension list: relocate nothing (suspension records do
+     *  not move) but reach the floating goal records hooked on it. */
+    void scanHookList(Addr susp_head);
+
+    /** Scan a goal record's argument words in place (deduplicated). */
+    void scanGoalRecord(Addr rec);
+
+    /** Scan a floating record only if its state still matches @p seq. */
+    void scanIfFloatingMatch(Addr rec, std::uint64_t seq);
+
+    Emulator& emu_;
+    std::vector<Segment> segments_;
+    std::vector<std::pair<Addr, std::uint32_t>> worklist_;
+    std::unordered_set<Addr> scannedGoals_;
+    std::uint64_t copiedWords_ = 0;
+    std::uint64_t copiedObjects_ = 0;
+};
+
+} // namespace pim::kl1
+
+#endif // PIMCACHE_KL1_GC_H_

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The KL1-B-style abstract instruction set (after Kimura & Chikayama,
+ * "An Abstract KL1 Machine and its Instruction Set", cited as [8] in the
+ * paper).
+ *
+ * Compiled code lives in the instruction area of shared memory; executing
+ * an instruction costs one (or two, when it carries a wide immediate)
+ * instruction-area reads, which is what makes instruction fetch ~43% of
+ * all memory references in Table 2 of the paper.
+ *
+ * Registers are a per-PE register file X0..X63 (goal arguments arrive in
+ * X0..Xn-1). Register traffic is not counted as memory references — the
+ * paper's "very liberal correspondence of architecture state to
+ * registers".
+ */
+
+#ifndef PIMCACHE_KL1_KL1B_H_
+#define PIMCACHE_KL1_KL1B_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pim::kl1 {
+
+/** Number of abstract-machine registers. */
+inline constexpr int kNumRegs = 64;
+
+/** Abstract-machine opcodes. */
+enum class Op : std::uint8_t {
+    // -- control ---------------------------------------------------------
+    TryClause,  ///< a = pc of the next clause / epilogue on failure.
+    Commit,     ///< End of the passive part; the reduction commits.
+    Proceed,    ///< Body finished: fetch the next goal.
+    Execute,    ///< Tail call: a=proc, b=nargs, c=first arg register.
+    Spawn,      ///< Create a body goal: a=proc, b=nargs, c=first arg reg.
+    SuspendOrFail, ///< Epilogue: suspend on collected vars, or fail.
+
+    // -- passive part (head unification and guards) -----------------------
+    WaitInt,    ///< a=reg, imm=value.
+    WaitAtom,   ///< a=reg, imm=atom id.
+    WaitList,   ///< a=reg, b=dst car reg, c=dst cdr reg.
+    WaitStruct, ///< a=reg, imm=functor, b=first dst reg (arity regs).
+    WaitSame,   ///< a=reg, b=reg: passive unification of two operands.
+    GuardCmp,   ///< a=lhs reg, b=rhs reg, d=CmpKind.
+    GuardCmpInt,///< a=lhs reg, imm=rhs value, d=CmpKind.
+    GuardInteger, ///< a=reg: integer(X) type test.
+    GuardWait,  ///< a=reg: wait(X) — suspend until bound.
+    GuardOtherwise, ///< True iff all preceding clauses failed
+                    ///< definitely (suspends the call otherwise).
+    GuardFail,  ///< Constant-folded guard that can never succeed.
+    GuardDiff,  ///< a,b = regs: X \= Y (fails on equal, suspends if
+                ///< undecidable).
+    GArith,     ///< Guard arithmetic: a=dst, b=lhs reg, c=rhs reg,
+                ///< d=ArithKind. Suspends on unbound, fails on non-int.
+    GArithInt,  ///< Guard arithmetic with immediate rhs (imm).
+
+    // -- active part (body) ------------------------------------------------
+    PutInt,     ///< a=dst reg, imm=value.
+    PutAtom,    ///< a=dst reg, imm=atom id.
+    PutVar,     ///< a=dst reg: allocate a fresh unbound heap cell.
+    PutList,    ///< a=dst, b=car reg, c=cdr reg: allocate a cons cell.
+    PutStruct,  ///< a=dst, imm=functor, b=first arg reg.
+    Move,       ///< a=dst reg, b=src reg.
+    Unify,      ///< a,b = regs: active unification (binds under lock).
+    Arith,      ///< a=dst, b=lhs reg, c=rhs reg, d=ArithKind.
+    ArithInt,   ///< a=dst, b=lhs reg, imm=rhs value, d=ArithKind.
+    BuiltinResult, ///< a=reg: record the term as a program result.
+
+    // -- vectors (KL1 system builtins) --------------------------------------
+    VecNew,     ///< a=dst, b=size reg, c=init reg: fresh vector.
+    VecGet,     ///< a=elem dst unified, b=vec reg, c=index reg.
+    VecSet,     ///< a=new-vec dst, b=vec, c=index, d=elem reg: pure
+                ///< (copying) update — single-assignment semantics.
+    VecSetD,    ///< Like VecSet but destructive in place (MRB-style
+                ///< single-reference optimization; see ablation_mrb).
+};
+
+/** Comparison kinds for GuardCmp*. */
+enum class CmpKind : std::uint8_t {
+    Lt,   ///< <
+    Le,   ///< =<
+    Gt,   ///< >
+    Ge,   ///< >=
+    NumEq,///< =:=
+    NumNe,///< =\=
+};
+
+/** Arithmetic kinds. */
+enum class ArithKind : std::uint8_t {
+    Add,
+    Sub,
+    Mul,
+    Div, ///< // (truncating)
+    Mod,
+};
+
+/** One decoded instruction (stored host-side; sized in words for the
+ *  instruction area via Instr::words()). */
+struct Instr {
+    Op op = Op::Proceed;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    std::int32_t c = 0;
+    std::int32_t d = 0;
+    std::int64_t imm = 0;
+
+    /** True when the opcode carries the wide immediate operand. */
+    static bool
+    hasImm(Op op)
+    {
+        switch (op) {
+          case Op::WaitInt:
+          case Op::WaitAtom:
+          case Op::WaitStruct:
+          case Op::GuardCmpInt:
+          case Op::GArithInt:
+          case Op::PutInt:
+          case Op::PutAtom:
+          case Op::PutStruct:
+          case Op::ArithInt:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** Size of this instruction in instruction-area words. */
+    std::uint32_t words() const { return hasImm(op) ? 2 : 1; }
+};
+
+/** Opcode mnemonic for disassembly. */
+const char* opName(Op op);
+
+} // namespace pim::kl1
+
+#endif // PIMCACHE_KL1_KL1B_H_

@@ -1,0 +1,157 @@
+#include "kl1/lexer.h"
+
+#include <cctype>
+
+#include "common/xassert.h"
+
+namespace pim::kl1 {
+
+namespace {
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators, longest first.
+const char* const kOperators[] = {
+    "=:=", "=\\=", ":-", "=<", ">=", "==", ":=", "\\=", "//", "||",
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string& source)
+{
+    std::vector<Token> out;
+    std::size_t i = 0;
+    int line = 1;
+    const std::size_t n = source.size();
+
+    auto peek = [&](std::size_t k) -> char {
+        return i + k < n ? source[i + k] : '\0';
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '%') { // line comment
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') { // block comment
+            i += 2;
+            while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+                if (source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i + 1 >= n)
+                PIM_FATAL("unterminated block comment at line ", line);
+            i += 2;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::int64_t value = 0;
+            while (i < n &&
+                   std::isdigit(static_cast<unsigned char>(source[i]))) {
+                value = value * 10 + (source[i] - '0');
+                ++i;
+            }
+            Token tok;
+            tok.kind = TokKind::Int;
+            tok.value = value;
+            tok.line = line;
+            out.push_back(tok);
+            continue;
+        }
+        if (std::islower(static_cast<unsigned char>(c))) {
+            std::string text;
+            while (i < n && isIdentChar(source[i]))
+                text.push_back(source[i++]);
+            Token tok;
+            tok.kind = TokKind::Atom;
+            tok.text = std::move(text);
+            tok.line = line;
+            out.push_back(tok);
+            continue;
+        }
+        if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+            std::string text;
+            while (i < n && isIdentChar(source[i]))
+                text.push_back(source[i++]);
+            Token tok;
+            tok.kind = TokKind::Var;
+            tok.text = std::move(text);
+            tok.line = line;
+            out.push_back(tok);
+            continue;
+        }
+        if (c == '\'') { // quoted atom
+            ++i;
+            std::string text;
+            while (i < n && source[i] != '\'') {
+                if (source[i] == '\n')
+                    ++line;
+                text.push_back(source[i++]);
+            }
+            if (i >= n)
+                PIM_FATAL("unterminated quoted atom at line ", line);
+            ++i;
+            Token tok;
+            tok.kind = TokKind::Atom;
+            tok.text = std::move(text);
+            tok.line = line;
+            out.push_back(tok);
+            continue;
+        }
+        // Multi-character operators.
+        bool matched = false;
+        for (const char* oper : kOperators) {
+            const std::size_t len = std::string(oper).size();
+            if (source.compare(i, len, oper) == 0) {
+                Token tok;
+                tok.kind = TokKind::Punct;
+                tok.text = oper;
+                tok.line = line;
+                out.push_back(tok);
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        // Single-character punctuation.
+        static const std::string kSingles = "()[]{}|,.<>=+-*/";
+        if (kSingles.find(c) != std::string::npos) {
+            Token tok;
+            tok.kind = TokKind::Punct;
+            tok.text = std::string(1, c);
+            tok.line = line;
+            out.push_back(tok);
+            ++i;
+            continue;
+        }
+        PIM_FATAL("illegal character '", std::string(1, c), "' at line ",
+                  line);
+    }
+
+    Token end;
+    end.kind = TokKind::End;
+    end.line = line;
+    out.push_back(end);
+    return out;
+}
+
+} // namespace pim::kl1

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tokenizer for FGHC source text.
+ */
+
+#ifndef PIMCACHE_KL1_LEXER_H_
+#define PIMCACHE_KL1_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pim::kl1 {
+
+/** Token kinds. */
+enum class TokKind : std::uint8_t {
+    Atom,    ///< lowercase identifier or 'quoted atom'
+    Var,     ///< Uppercase / underscore identifier
+    Int,     ///< integer literal
+    Punct,   ///< punctuation or operator, in `text`
+    End,     ///< end of input
+};
+
+/** One token. */
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;
+    std::int64_t value = 0;
+    int line = 1;
+
+    bool
+    is(TokKind k, const char* t = nullptr) const
+    {
+        return kind == k && (t == nullptr || text == t);
+    }
+};
+
+/**
+ * Tokenize FGHC source. Understands %-to-end-of-line and C-style block
+ * comments, multi-character operators (:-, =<, >=, ==, =:=, =\=, :=,
+ * \=, //), and negative integer literals are left to the parser.
+ * Fatal on illegal characters (with line numbers).
+ */
+std::vector<Token> tokenize(const std::string& source);
+
+} // namespace pim::kl1
+
+#endif // PIMCACHE_KL1_LEXER_H_

@@ -1,0 +1,305 @@
+#include "kl1/parser.h"
+
+#include <sstream>
+
+#include "common/xassert.h"
+#include "kl1/lexer.h"
+
+namespace pim::kl1 {
+
+namespace {
+
+/** Token cursor with error helpers. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : tokens_(std::move(tokens))
+    {
+    }
+
+    Program
+    parseProgram()
+    {
+        Program program;
+        while (!peek().is(TokKind::End)) {
+            Clause clause = parseClause();
+            addClause(program, std::move(clause));
+        }
+        return program;
+    }
+
+    PTerm
+    parseSingleTerm()
+    {
+        PTerm term = parseTerm();
+        expectPunct(".", "after goal term");
+        if (!peek().is(TokKind::End))
+            fail("trailing input after goal term");
+        return term;
+    }
+
+  private:
+    const Token&
+    peek(std::size_t k = 0) const
+    {
+        const std::size_t i = pos_ + k;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+
+    Token
+    advance()
+    {
+        return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_];
+    }
+
+    [[noreturn]] void
+    fail(const std::string& what) const
+    {
+        PIM_FATAL("FGHC syntax error at line ", peek().line, ": ", what,
+                  " (got '",
+                  peek().kind == TokKind::End ? "<eof>" : peek().text,
+                  "')");
+    }
+
+    void
+    expectPunct(const char* text, const char* context)
+    {
+        if (!peek().is(TokKind::Punct, text))
+            fail(std::string("expected '") + text + "' " + context);
+        advance();
+    }
+
+    bool
+    acceptPunct(const char* text)
+    {
+        if (peek().is(TokKind::Punct, text)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    Clause
+    parseClause()
+    {
+        Clause clause;
+        clause.line = peek().line;
+        clause.head = parseTerm();
+        if (clause.head.kind != PTerm::Kind::Atom &&
+            clause.head.kind != PTerm::Kind::Struct) {
+            fail("clause head must be an atom or a structure");
+        }
+        if (acceptPunct(":-")) {
+            std::vector<Goal> goals;
+            bool committed = false;
+            for (;;) {
+                goals.push_back(parseTerm());
+                if (acceptPunct(","))
+                    continue;
+                if (!committed && acceptPunct("|")) {
+                    clause.guards = std::move(goals);
+                    goals.clear();
+                    committed = true;
+                    continue;
+                }
+                break;
+            }
+            clause.body = std::move(goals);
+        }
+        expectPunct(".", "at end of clause");
+        return clause;
+    }
+
+    // Precedence-climbing expression parser.
+    PTerm
+    parseTerm()
+    {
+        return parseCompare();
+    }
+
+    PTerm
+    parseCompare()
+    {
+        PTerm left = parseAdditive();
+        static const char* const kOps[] = {"=",  "\\=", "==", "<",
+                                           ">",  "=<",  ">=", "=:=",
+                                           "=\\=", ":="};
+        for (const char* oper : kOps) {
+            if (peek().is(TokKind::Punct, oper)) {
+                advance();
+                PTerm right = parseAdditive();
+                return PTerm::structure(oper,
+                                        {std::move(left), std::move(right)});
+            }
+        }
+        return left;
+    }
+
+    PTerm
+    parseAdditive()
+    {
+        PTerm left = parseMultiplicative();
+        for (;;) {
+            if (acceptPunct("+")) {
+                left = PTerm::structure(
+                    "+", {std::move(left), parseMultiplicative()});
+            } else if (acceptPunct("-")) {
+                left = PTerm::structure(
+                    "-", {std::move(left), parseMultiplicative()});
+            } else {
+                return left;
+            }
+        }
+    }
+
+    PTerm
+    parseMultiplicative()
+    {
+        PTerm left = parsePrimary();
+        for (;;) {
+            if (acceptPunct("*")) {
+                left = PTerm::structure("*",
+                                        {std::move(left), parsePrimary()});
+            } else if (acceptPunct("//") || acceptPunct("/")) {
+                left = PTerm::structure("//",
+                                        {std::move(left), parsePrimary()});
+            } else if (peek().is(TokKind::Atom, "mod") &&
+                       // `mod` is an operator only between operands.
+                       !peek(1).is(TokKind::Punct, "(")) {
+                advance();
+                left = PTerm::structure("mod",
+                                        {std::move(left), parsePrimary()});
+            } else {
+                return left;
+            }
+        }
+    }
+
+    PTerm
+    parsePrimary()
+    {
+        const Token& tok = peek();
+        if (tok.is(TokKind::Int)) {
+            advance();
+            return PTerm::integer(tok.value);
+        }
+        if (tok.is(TokKind::Punct, "-") && peek(1).is(TokKind::Int)) {
+            advance();
+            return PTerm::integer(-advance().value);
+        }
+        if (tok.is(TokKind::Var)) {
+            advance();
+            return PTerm::var(tok.text);
+        }
+        if (tok.is(TokKind::Atom)) {
+            const std::string name = advance().text;
+            if (acceptPunct("(")) {
+                std::vector<PTerm> args;
+                if (!peek().is(TokKind::Punct, ")")) {
+                    args.push_back(parseTerm());
+                    while (acceptPunct(","))
+                        args.push_back(parseTerm());
+                }
+                expectPunct(")", "closing argument list");
+                return PTerm::structure(name, std::move(args));
+            }
+            return PTerm::atom(name);
+        }
+        if (acceptPunct("[")) {
+            if (acceptPunct("]"))
+                return PTerm::nil();
+            std::vector<PTerm> elems;
+            elems.push_back(parseTerm());
+            while (acceptPunct(","))
+                elems.push_back(parseTerm());
+            PTerm tail = PTerm::nil();
+            if (acceptPunct("|"))
+                tail = parseTerm();
+            expectPunct("]", "closing list");
+            for (auto it = elems.rbegin(); it != elems.rend(); ++it)
+                tail = PTerm::list(std::move(*it), std::move(tail));
+            return tail;
+        }
+        if (acceptPunct("(")) {
+            PTerm inner = parseTerm();
+            expectPunct(")", "closing parenthesis");
+            return inner;
+        }
+        fail("expected a term");
+    }
+
+    void
+    addClause(Program& program, Clause clause)
+    {
+        const std::string name =
+            clause.head.kind == PTerm::Kind::Atom ? clause.head.name
+                                                  : clause.head.name;
+        const std::uint32_t arity =
+            clause.head.kind == PTerm::Kind::Struct
+                ? static_cast<std::uint32_t>(clause.head.args.size())
+                : 0;
+        const std::string key = name + "/" + std::to_string(arity);
+        auto it = program.index.find(key);
+        if (it == program.index.end()) {
+            Procedure proc;
+            proc.name = name;
+            proc.arity = arity;
+            program.index.emplace(key, program.procedures.size());
+            program.procedures.push_back(std::move(proc));
+            it = program.index.find(key);
+        }
+        program.procedures[it->second].clauses.push_back(std::move(clause));
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Program
+parseProgram(const std::string& source)
+{
+    Parser parser(tokenize(source));
+    return parser.parseProgram();
+}
+
+PTerm
+parseGoalTerm(const std::string& source)
+{
+    Parser parser(tokenize(source));
+    return parser.parseSingleTerm();
+}
+
+std::string
+PTerm::toString() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case Kind::Var:
+        os << name;
+        break;
+      case Kind::Atom:
+        os << name;
+        break;
+      case Kind::Int:
+        os << value;
+        break;
+      case Kind::List:
+        os << "[" << args[0].toString() << "|" << args[1].toString() << "]";
+        break;
+      case Kind::Struct:
+        os << name << "(";
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            if (i > 0)
+                os << ",";
+            os << args[i].toString();
+        }
+        os << ")";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace pim::kl1

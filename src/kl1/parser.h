@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Recursive-descent parser for FGHC source.
+ *
+ * Syntax:
+ *   clause  :=  head [ ':-' goal, ... [ '|' goal, ... ] ] '.'
+ *   term    :=  infix expressions over =, \=, ==, <, >, =<, >=, =:=,
+ *               =\=, := (700); +, - (500); *, //, mod (400); and the
+ *               primaries: integers, variables, atoms, f(args), lists
+ *               [a,b|T], and parenthesized terms.
+ *
+ * A clause without ':-' has an empty guard and body; a clause with ':-'
+ * but no '|' has an empty guard (the commit is immediate).
+ */
+
+#ifndef PIMCACHE_KL1_PARSER_H_
+#define PIMCACHE_KL1_PARSER_H_
+
+#include <string>
+
+#include "kl1/ast.h"
+
+namespace pim::kl1 {
+
+/** Parse FGHC source text into a Program. Fatal on syntax errors. */
+Program parseProgram(const std::string& source);
+
+/** Parse one goal term, e.g. a query like "main(10, R)". */
+PTerm parseGoalTerm(const std::string& source);
+
+} // namespace pim::kl1
+
+#endif // PIMCACHE_KL1_PARSER_H_

@@ -1,0 +1,38 @@
+#include "kl1/symtab.h"
+
+#include "common/xassert.h"
+
+namespace pim::kl1 {
+
+SymbolTable::SymbolTable()
+{
+    const AtomId nil = intern("[]");
+    PIM_ASSERT(nil == kNil);
+}
+
+AtomId
+SymbolTable::intern(const std::string& name)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end())
+        return it->second;
+    const AtomId id = static_cast<AtomId>(names_.size());
+    names_.push_back(name);
+    index_.emplace(name, id);
+    return id;
+}
+
+const std::string&
+SymbolTable::name(AtomId id) const
+{
+    PIM_ASSERT(id < names_.size(), "unknown atom id ", id);
+    return names_[id];
+}
+
+std::string
+SymbolTable::functorString(FunctorId f) const
+{
+    return name(functorName(f)) + "/" + std::to_string(functorArity(f));
+}
+
+} // namespace pim::kl1

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Interned symbols (atoms) and functors for the KL1 system.
+ */
+
+#ifndef PIMCACHE_KL1_SYMTAB_H_
+#define PIMCACHE_KL1_SYMTAB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pim::kl1 {
+
+/** Interned atom identifier. */
+using AtomId = std::uint32_t;
+
+/** Functor = atom name + arity packed into one value. */
+using FunctorId = std::uint32_t;
+
+/** Atom interning table; id 0 is always '[]' (nil). */
+class SymbolTable
+{
+  public:
+    SymbolTable();
+
+    /** Intern @p name, returning a stable id. */
+    AtomId intern(const std::string& name);
+
+    /** Name of an interned atom. */
+    const std::string& name(AtomId id) const;
+
+    /** Number of interned atoms. */
+    std::size_t size() const { return names_.size(); }
+
+    /** Pack a functor. Arity must fit in 8 bits. */
+    static FunctorId
+    functor(AtomId name, std::uint32_t arity)
+    {
+        return (name << 8) | (arity & 0xff);
+    }
+
+    static AtomId functorName(FunctorId f) { return f >> 8; }
+    static std::uint32_t functorArity(FunctorId f) { return f & 0xff; }
+
+    /** Render "name/arity". */
+    std::string functorString(FunctorId f) const;
+
+    /** The id of '[]'. */
+    static constexpr AtomId kNil = 0;
+
+  private:
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, AtomId> index_;
+};
+
+} // namespace pim::kl1
+
+#endif // PIMCACHE_KL1_SYMTAB_H_

@@ -1,0 +1,113 @@
+#include "kl1/term.h"
+
+#include <sstream>
+
+namespace pim::kl1 {
+
+namespace {
+
+Word
+derefPeek(Word w, const TermReader& reader, int limit = 1000)
+{
+    while (tagOf(w) == Tag::Ref && limit-- > 0) {
+        const Addr addr = ptrOf(w);
+        const Word next = reader.peek(addr);
+        if (isUnboundAt(next, addr) || next == w)
+            return next;
+        w = next;
+    }
+    return w;
+}
+
+void
+formatInto(std::ostream& os, Word w, const TermReader& reader,
+           const SymbolTable& symbols, int depth)
+{
+    if (depth <= 0) {
+        os << "...";
+        return;
+    }
+    w = derefPeek(w, reader);
+    switch (tagOf(w)) {
+      case Tag::Ref:
+        os << "_" << ptrOf(w);
+        return;
+      case Tag::Hook:
+        os << "_susp" << ptrOf(w);
+        return;
+      case Tag::Int:
+        os << intOf(w);
+        return;
+      case Tag::Atom:
+        os << symbols.name(atomOf(w));
+        return;
+      case Tag::Fun:
+        os << "<fun:" << symbols.functorString(funOf(w)) << ">";
+        return;
+      case Tag::List: {
+        os << "[";
+        Word cur = w;
+        bool first = true;
+        int elems = 64;
+        while (tagOf(cur) == Tag::List && elems-- > 0) {
+            if (!first)
+                os << ",";
+            first = false;
+            const Addr cons = ptrOf(cur);
+            formatInto(os, reader.peek(cons), reader, symbols, depth - 1);
+            cur = derefPeek(reader.peek(cons + 1), reader);
+        }
+        if (!(tagOf(cur) == Tag::Atom && atomOf(cur) == SymbolTable::kNil)) {
+            os << "|";
+            formatInto(os, cur, reader, symbols, depth - 1);
+        }
+        os << "]";
+        return;
+      }
+      case Tag::Vec: {
+        const Addr base = ptrOf(w);
+        const Word size_word = reader.peek(base);
+        const std::int64_t size = intOf(size_word);
+        os << "{";
+        for (std::int64_t i = 0; i < size && i < 64; ++i) {
+            if (i > 0)
+                os << ",";
+            formatInto(os, reader.peek(base + 1 + i), reader, symbols,
+                       depth - 1);
+        }
+        if (size > 64)
+            os << ",...";
+        os << "}";
+        return;
+      }
+      case Tag::Str: {
+        const Addr base = ptrOf(w);
+        const Word fun = reader.peek(base);
+        const FunctorId f = funOf(fun);
+        os << symbols.name(SymbolTable::functorName(f)) << "(";
+        const std::uint32_t arity = SymbolTable::functorArity(f);
+        for (std::uint32_t i = 0; i < arity; ++i) {
+            if (i > 0)
+                os << ",";
+            formatInto(os, reader.peek(base + 1 + i), reader, symbols,
+                       depth - 1);
+        }
+        os << ")";
+        return;
+      }
+    }
+    os << "?";
+}
+
+} // namespace
+
+std::string
+formatTerm(Word w, const TermReader& reader, const SymbolTable& symbols,
+           int depth)
+{
+    std::ostringstream os;
+    formatInto(os, w, reader, symbols, depth);
+    return os.str();
+}
+
+} // namespace pim::kl1

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tagged-word term representation (paper Section 2.2).
+ *
+ * KL1 data lives in simulated shared memory as 64-bit tagged words:
+ *
+ *   REF   pointer to a variable cell; an unbound cell points to itself
+ *   HOOK  an unbound cell with a list of suspension records hooked on it
+ *   INT   small integer (signed, 59 bits)
+ *   ATOM  interned constant ('[]' is the nil atom)
+ *   LIST  pointer to a two-word cons cell [car, cdr]
+ *   STR   pointer to a structure: [FUN word, arg0 ... argN-1]
+ *   FUN   functor word at the head of a structure
+ *
+ * The tag sits in the low 4 bits; payloads (addresses, atom ids) occupy
+ * the upper bits; integers are stored shifted with sign preserved.
+ */
+
+#ifndef PIMCACHE_KL1_TERM_H_
+#define PIMCACHE_KL1_TERM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "common/xassert.h"
+#include "kl1/symtab.h"
+
+namespace pim::kl1 {
+
+/** Term word tags. */
+enum class Tag : std::uint8_t {
+    Ref = 0,
+    Hook = 1,
+    Int = 2,
+    Atom = 3,
+    List = 4,
+    Str = 5,
+    Fun = 6,
+    Fwd = 7, ///< GC forwarding word (from-space only, never a value).
+    Vec = 8, ///< Pointer to a vector: [size (Int word), elem0 ...].
+};
+
+inline constexpr int kTagBits = 4;
+inline constexpr Word kTagMask = (Word{1} << kTagBits) - 1;
+
+/** Extract the tag of a term word. */
+inline Tag
+tagOf(Word w)
+{
+    return static_cast<Tag>(w & kTagMask);
+}
+
+/** Pointer payload (REF/HOOK/LIST/STR). */
+inline Addr
+ptrOf(Word w)
+{
+    return w >> kTagBits;
+}
+
+/** Build a pointer-carrying term word. */
+inline Word
+makePtr(Tag tag, Addr addr)
+{
+    return (static_cast<Word>(addr) << kTagBits) |
+           static_cast<Word>(tag);
+}
+
+inline Word makeRef(Addr a) { return makePtr(Tag::Ref, a); }
+inline Word makeHook(Addr susp) { return makePtr(Tag::Hook, susp); }
+inline Word makeList(Addr cons) { return makePtr(Tag::List, cons); }
+inline Word makeStr(Addr str) { return makePtr(Tag::Str, str); }
+inline Word makeVec(Addr vec) { return makePtr(Tag::Vec, vec); }
+
+/** Build/inspect integers. */
+inline Word
+makeInt(std::int64_t v)
+{
+    return (static_cast<Word>(v) << kTagBits) |
+           static_cast<Word>(Tag::Int);
+}
+
+inline std::int64_t
+intOf(Word w)
+{
+    return static_cast<std::int64_t>(w) >> kTagBits;
+}
+
+/** Build/inspect atoms. */
+inline Word
+makeAtom(AtomId id)
+{
+    return (static_cast<Word>(id) << kTagBits) |
+           static_cast<Word>(Tag::Atom);
+}
+
+inline AtomId
+atomOf(Word w)
+{
+    return static_cast<AtomId>(w >> kTagBits);
+}
+
+/** GC forwarding word pointing at the object's to-space copy. */
+inline Word
+makeFwd(Addr addr)
+{
+    return makePtr(Tag::Fwd, addr);
+}
+
+/** The nil atom '[]'. */
+inline Word
+makeNil()
+{
+    return makeAtom(SymbolTable::kNil);
+}
+
+/** Build/inspect functor words. */
+inline Word
+makeFun(FunctorId f)
+{
+    return (static_cast<Word>(f) << kTagBits) |
+           static_cast<Word>(Tag::Fun);
+}
+
+inline FunctorId
+funOf(Word w)
+{
+    return static_cast<FunctorId>(w >> kTagBits);
+}
+
+/** True for an unbound variable cell at @p addr holding word @p w. */
+inline bool
+isUnboundAt(Word w, Addr addr)
+{
+    return tagOf(w) == Tag::Ref && ptrOf(w) == addr;
+}
+
+/** True for words that are values (not variable indirections). */
+inline bool
+isValueWord(Word w)
+{
+    const Tag t = tagOf(w);
+    return t == Tag::Int || t == Tag::Atom || t == Tag::List ||
+           t == Tag::Str || t == Tag::Vec;
+}
+
+/** Host-side structural rendering of a term (for tests and results). */
+class TermReader
+{
+  public:
+    virtual ~TermReader() = default;
+    /** Read one word of simulated memory without timing side effects. */
+    virtual Word peek(Addr addr) const = 0;
+};
+
+/**
+ * Render a term to text ("[1,2|X]", "f(a,B)") by following pointers via
+ * @p reader. Unbound variables render as "_<addr>". Depth limited.
+ */
+std::string formatTerm(Word w, const TermReader& reader,
+                       const SymbolTable& symbols, int depth = 24);
+
+} // namespace pim::kl1
+
+#endif // PIMCACHE_KL1_TERM_H_

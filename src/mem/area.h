@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The five KL1 storage areas (paper Section 2.2).
+ *
+ * Every memory reference the emulator generates is classified into one of
+ * these areas; Tables 2 and 4 of the paper break references and bus cycles
+ * down along this axis.
+ */
+
+#ifndef PIMCACHE_MEM_AREA_H_
+#define PIMCACHE_MEM_AREA_H_
+
+#include <cstdint>
+
+namespace pim {
+
+/** KL1 shared-memory storage areas. */
+enum class Area : std::uint8_t {
+    Instruction = 0, ///< Compiled KL1-B code.
+    Heap = 1,        ///< Terms; top-allocated, reclaimed only by GC.
+    Goal = 2,        ///< Goal records; free-list managed.
+    Susp = 3,        ///< Suspension records; free-list managed.
+    Comm = 4,        ///< Inter-PE message buffers; free-list managed.
+    Unknown = 5,     ///< Outside every configured area.
+};
+
+/** Number of real areas (excluding Unknown). */
+inline constexpr int kNumAreas = 5;
+
+/** Total number of Area enumerators (including Unknown). */
+inline constexpr int kNumAreaSlots = 6;
+
+/** Short lowercase area name as used in the paper's tables. */
+inline const char*
+areaName(Area area)
+{
+    switch (area) {
+      case Area::Instruction: return "inst";
+      case Area::Heap:        return "heap";
+      case Area::Goal:        return "goal";
+      case Area::Susp:        return "susp";
+      case Area::Comm:        return "comm";
+      case Area::Unknown:     return "unknown";
+    }
+    return "?";
+}
+
+} // namespace pim
+
+#endif // PIMCACHE_MEM_AREA_H_

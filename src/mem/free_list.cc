@@ -1,0 +1,48 @@
+#include "mem/free_list.h"
+
+#include "common/xassert.h"
+
+namespace pim {
+
+FreeList::FreeList(Range region, std::uint32_t max_record_words)
+    : region_(region),
+      cursor_(region.base),
+      freeBySize_(max_record_words + 1)
+{
+    PIM_ASSERT(max_record_words >= 1);
+}
+
+Addr
+FreeList::allocate(std::uint32_t nwords)
+{
+    PIM_ASSERT(nwords >= 1 && nwords < freeBySize_.size(),
+               "record size out of range: ", nwords);
+    ++allocCount_;
+    auto& list = freeBySize_[nwords];
+    if (!list.empty()) {
+        const Addr addr = list.back();
+        list.pop_back();
+        ++recycleCount_;
+        liveWords_ += nwords;
+        return addr;
+    }
+    if (cursor_ + nwords > region_.end())
+        return kNoAddr;
+    const Addr addr = cursor_;
+    cursor_ += nwords;
+    liveWords_ += nwords;
+    return addr;
+}
+
+void
+FreeList::free(Addr addr, std::uint32_t nwords)
+{
+    PIM_ASSERT(nwords >= 1 && nwords < freeBySize_.size());
+    PIM_ASSERT(region_.contains(addr) && addr + nwords <= region_.end(),
+               "free outside region");
+    PIM_ASSERT(liveWords_ >= nwords, "double free suspected");
+    liveWords_ -= nwords;
+    freeBySize_[nwords].push_back(addr);
+}
+
+} // namespace pim

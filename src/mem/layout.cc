@@ -1,0 +1,93 @@
+#include "mem/layout.h"
+
+#include <sstream>
+
+#include "common/xassert.h"
+
+namespace pim {
+
+namespace {
+
+std::uint64_t
+alignUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) / align * align;
+}
+
+} // namespace
+
+Layout::Layout(const LayoutConfig& config)
+    : config_(config)
+{
+    PIM_ASSERT(config_.numPes >= 1);
+
+    Addr cursor = 0;
+    instr_ = {cursor, alignUp(config_.instrWords, kAlign)};
+    cursor = instr_.end();
+
+    auto place = [&](Area area, std::uint64_t words_per_pe) {
+        const int idx = static_cast<int>(area);
+        segSize_[idx] = words_per_pe;
+        segStride_[idx] = alignUp(words_per_pe, kAlign);
+        areaBase_[idx] = cursor;
+        cursor += segStride_[idx] * config_.numPes;
+    };
+    place(Area::Heap, config_.heapWordsPerPe);
+    place(Area::Goal, config_.goalWordsPerPe);
+    place(Area::Susp, config_.suspWordsPerPe);
+    place(Area::Comm, config_.commWordsPerPe);
+    total_ = cursor;
+}
+
+Range
+Layout::segment(Area area, PeId pe) const
+{
+    const int idx = static_cast<int>(area);
+    PIM_ASSERT(area != Area::Instruction && area != Area::Unknown);
+    PIM_ASSERT(pe < config_.numPes);
+    return {areaBase_[idx] + segStride_[idx] * pe, segSize_[idx]};
+}
+
+Area
+Layout::areaOf(Addr addr) const
+{
+    if (instr_.contains(addr))
+        return Area::Instruction;
+    // Areas are placed in enum order, so scan the bases.
+    for (Area area : {Area::Heap, Area::Goal, Area::Susp, Area::Comm}) {
+        const int idx = static_cast<int>(area);
+        const std::uint64_t span = segStride_[idx] * config_.numPes;
+        if (addr - areaBase_[idx] < span) {
+            // Inside the area's span; check it is not in alignment padding.
+            const std::uint64_t off = (addr - areaBase_[idx]) %
+                                      segStride_[idx];
+            return off < segSize_[idx] ? area : Area::Unknown;
+        }
+    }
+    return Area::Unknown;
+}
+
+PeId
+Layout::peOf(Addr addr) const
+{
+    const Area area = areaOf(addr);
+    if (area == Area::Instruction || area == Area::Unknown)
+        return kNoPe;
+    const int idx = static_cast<int>(area);
+    return static_cast<PeId>((addr - areaBase_[idx]) / segStride_[idx]);
+}
+
+std::string
+Layout::describe(Addr addr) const
+{
+    const Area area = areaOf(addr);
+    std::ostringstream os;
+    os << "0x" << std::hex << addr << std::dec << " (" << areaName(area);
+    const PeId pe = peOf(addr);
+    if (pe != kNoPe)
+        os << " pe" << pe;
+    os << ")";
+    return os.str();
+}
+
+} // namespace pim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Word-addressed shared address-space layout.
+ *
+ * The shared memory is divided into the five KL1 areas. The instruction
+ * area is a single shared region; heap, goal, suspension and communication
+ * areas are split into per-PE segments so that each PE allocates locally
+ * (as the real KL1 system does) while all data remains globally readable.
+ */
+
+#ifndef PIMCACHE_MEM_LAYOUT_H_
+#define PIMCACHE_MEM_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "mem/area.h"
+
+namespace pim {
+
+/** Sizing knobs for the address-space layout (all in words). */
+struct LayoutConfig {
+    std::uint32_t numPes = 8;
+    std::uint64_t instrWords = 1u << 16;       ///< Shared code region.
+    std::uint64_t heapWordsPerPe = 1u << 22;   ///< Per-PE heap segment.
+    std::uint64_t goalWordsPerPe = 1u << 18;   ///< Per-PE goal segment.
+    std::uint64_t suspWordsPerPe = 1u << 16;   ///< Per-PE suspension seg.
+    std::uint64_t commWordsPerPe = 1u << 14;   ///< Per-PE comm segment.
+};
+
+/** One contiguous address range [base, base+size). */
+struct Range {
+    Addr base = 0;
+    std::uint64_t size = 0;
+
+    bool contains(Addr addr) const { return addr - base < size; }
+    Addr end() const { return base + size; }
+};
+
+/**
+ * Computes and answers questions about the area map.
+ *
+ * The layout is contiguous from address 0: instruction area first, then for
+ * each area kind, the per-PE segments back to back. Segment bases are
+ * aligned to 4K words so area/PE classification is cheap and no cache block
+ * ever straddles two areas.
+ */
+class Layout
+{
+  public:
+    explicit Layout(const LayoutConfig& config = LayoutConfig{});
+
+    const LayoutConfig& config() const { return config_; }
+
+    /** Total words spanned by the layout. */
+    std::uint64_t totalWords() const { return total_; }
+
+    /** The shared instruction region. */
+    Range instrRange() const { return instr_; }
+
+    /** Per-PE segment of @p area (not Instruction/Unknown). */
+    Range segment(Area area, PeId pe) const;
+
+    /** Classify an address into an area (Unknown if out of range). */
+    Area areaOf(Addr addr) const;
+
+    /** Owning PE of an address (kNoPe for instruction/unknown). */
+    PeId peOf(Addr addr) const;
+
+    /** Human-readable description of @p addr, for diagnostics. */
+    std::string describe(Addr addr) const;
+
+  private:
+    static constexpr std::uint64_t kAlign = 4096;
+
+    LayoutConfig config_;
+    Range instr_;
+    // areaBase_[a] is the base of area a's first PE segment; segments of
+    // one area are contiguous and segStride_[a] words apart.
+    Addr areaBase_[kNumAreaSlots] = {};
+    std::uint64_t segStride_[kNumAreaSlots] = {};
+    std::uint64_t segSize_[kNumAreaSlots] = {};
+    std::uint64_t total_ = 0;
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_MEM_LAYOUT_H_

@@ -1,0 +1,39 @@
+#include "mem/paged_store.h"
+
+#include "common/xassert.h"
+
+namespace pim {
+
+PagedStore::PagedStore(std::uint64_t total_words)
+    : totalWords_(total_words),
+      pages_((total_words + kPageWords - 1) / kPageWords)
+{
+}
+
+Word
+PagedStore::read(Addr addr) const
+{
+    PIM_ASSERT(addr < totalWords_, "read past end of memory: ", addr);
+    const auto& page = pages_[addr / kPageWords];
+    return page ? page->words[addr % kPageWords] : 0;
+}
+
+void
+PagedStore::write(Addr addr, Word value)
+{
+    pageFor(addr).words[addr % kPageWords] = value;
+}
+
+PagedStore::Page&
+PagedStore::pageFor(Addr addr)
+{
+    PIM_ASSERT(addr < totalWords_, "write past end of memory: ", addr);
+    auto& slot = pages_[addr / kPageWords];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        ++pagesAllocated_;
+    }
+    return *slot;
+}
+
+} // namespace pim

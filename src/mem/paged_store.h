@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sparse word-addressed backing store.
+ *
+ * Represents the contents of shared global memory. Pages (4K words) are
+ * allocated on first touch so that large configured heaps cost nothing
+ * until used. All words read as zero until written.
+ */
+
+#ifndef PIMCACHE_MEM_PAGED_STORE_H_
+#define PIMCACHE_MEM_PAGED_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pim {
+
+/** Sparse flat array of simulated memory words. */
+class PagedStore
+{
+  public:
+    /** @param total_words Size of the address space in words. */
+    explicit PagedStore(std::uint64_t total_words);
+
+    /** Read one word (zero if never written). */
+    Word read(Addr addr) const;
+
+    /** Write one word. */
+    void write(Addr addr, Word value);
+
+    /** Size of the address space in words. */
+    std::uint64_t totalWords() const { return totalWords_; }
+
+    /** Number of pages materialized so far (for tests/diagnostics). */
+    std::uint64_t pagesAllocated() const { return pagesAllocated_; }
+
+    static constexpr std::uint64_t kPageWords = 4096;
+
+  private:
+    struct Page {
+        Word words[kPageWords] = {};
+    };
+
+    Page& pageFor(Addr addr);
+
+    std::uint64_t totalWords_;
+    std::uint64_t pagesAllocated_ = 0;
+    std::vector<std::unique_ptr<Page>> pages_;
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_MEM_PAGED_STORE_H_

@@ -1,0 +1,117 @@
+#include "sim/system.h"
+
+#include <algorithm>
+
+#include "common/xassert.h"
+
+namespace pim {
+
+namespace {
+
+/** The bus moves whole cache blocks: its block size follows the cache. */
+SystemConfig
+withSyncedTiming(SystemConfig config)
+{
+    config.timing.blockWords = config.cache.geometry.blockWords;
+    return config;
+}
+
+} // namespace
+
+System::System(const SystemConfig& config)
+    : config_(withSyncedTiming(config)),
+      memory_(config.memoryWords),
+      bus_(std::make_unique<Bus>(config_.timing, memory_)),
+      clock_(config.numPes, 0),
+      parkedOn_(config.numPes, kNoAddr)
+{
+    PIM_ASSERT(config_.numPes >= 1);
+    caches_.reserve(config_.numPes);
+    for (PeId pe = 0; pe < config_.numPes; ++pe) {
+        caches_.push_back(
+            std::make_unique<PimCache>(pe, config_.cache, *bus_));
+    }
+    bus_->setUnlockListener(this);
+}
+
+System::Access
+System::access(PeId pe, MemOp op, Addr addr, Area area, Word wdata)
+{
+    PIM_ASSERT(pe < config_.numPes);
+    PIM_ASSERT(!parked(pe), "pe", pe, " stepped while busy-waiting");
+
+    MemRef ref;
+    ref.pe = pe;
+    ref.addr = addr;
+    ref.area = area;
+    ref.op = config_.policy.apply(area, op);
+
+    const PimCache::AccessResult result =
+        caches_[pe]->access(ref, wdata, clock_[pe]);
+    clock_[pe] = result.doneAt;
+
+    Access out;
+    if (result.lockWait) {
+        parkedOn_[pe] = result.waitAddr;
+        out.lockWait = true;
+        return out;
+    }
+    refStats_.record(ref);
+    if (refObserver_)
+        refObserver_(ref);
+    out.data = result.data;
+    return out;
+}
+
+PeId
+System::earliestRunnable() const
+{
+    PeId best = kNoPe;
+    for (PeId pe = 0; pe < config_.numPes; ++pe) {
+        if (parked(pe))
+            continue;
+        if (best == kNoPe || clock_[pe] < clock_[best])
+            best = pe;
+    }
+    return best;
+}
+
+Cycles
+System::makespan() const
+{
+    Cycles max = 0;
+    for (Cycles c : clock_)
+        max = std::max(max, c);
+    return max;
+}
+
+void
+System::flushAllCaches()
+{
+    for (auto& cache : caches_)
+        cache->flushAll();
+    bus_->clearPurgedMarks();
+}
+
+CacheStats
+System::totalCacheStats() const
+{
+    CacheStats total;
+    for (const auto& cache : caches_)
+        total.merge(cache->stats());
+    return total;
+}
+
+void
+System::onUnlockBroadcast(Addr word_addr, Cycles when)
+{
+    const Addr block = word_addr - word_addr % config_.timing.blockWords;
+    for (PeId pe = 0; pe < config_.numPes; ++pe) {
+        if (parkedOn_[pe] == block) {
+            parkedOn_[pe] = kNoAddr;
+            clock_[pe] = std::max(clock_[pe], when);
+        }
+    }
+}
+
+} // namespace pim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The multiprocessor system model: N PEs with private PIM caches and lock
+ * directories on one common bus in front of shared memory.
+ *
+ * Drivers (the KL1 emulator, trace replay) issue memory operations per PE
+ * through System::access. Each PE has a local clock; drivers are expected
+ * to step the PE with the smallest clock so bus requests are served in
+ * global time order — the paper's "cache simulators artificially
+ * synchronize at each simulated bus request".
+ *
+ * Busy-wait locking: an access inhibited by a remote lock (LH) parks the
+ * PE on the block; the UL broadcast wakes it and the driver retries the
+ * operation (the bus is idle during the wait, as in the paper).
+ */
+
+#ifndef PIMCACHE_SIM_SYSTEM_H_
+#define PIMCACHE_SIM_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bus/bus.h"
+#include "cache/pim_cache.h"
+#include "mem/paged_store.h"
+#include "sim/opt_policy.h"
+#include "trace/ref.h"
+#include "trace/ref_stats.h"
+
+namespace pim {
+
+/** Construction parameters for a System. */
+struct SystemConfig {
+    std::uint32_t numPes = 8;
+    CacheConfig cache;
+    BusTiming timing;
+    OptPolicy policy = OptPolicy::all();
+    std::uint64_t memoryWords = 1ull << 26;
+};
+
+/** N PEs + caches + lock directories + bus + shared memory. */
+class System : public UnlockListener
+{
+  public:
+    /** Result of one processor memory operation. */
+    struct Access {
+        Word data = 0;       ///< Value read (reading operations).
+        bool lockWait = false; ///< Parked; retry after the UL wakeup.
+    };
+
+    explicit System(const SystemConfig& config);
+
+    System(const System&) = delete;
+    System& operator=(const System&) = delete;
+
+    /**
+     * Issue one memory operation for @p pe at its current local clock.
+     * The optimization policy is applied first; the reference is counted
+     * once (on completion, not on lock-rejected attempts).
+     *
+     * On lockWait the PE is parked: the driver must not step it again
+     * until parked(pe) is false, then retry the same operation.
+     */
+    Access access(PeId pe, MemOp op, Addr addr, Area area, Word wdata = 0);
+
+    /** True while @p pe is busy-waiting on a remote lock. */
+    bool parked(PeId pe) const { return parkedOn_[pe] != kNoAddr; }
+
+    /** Local clock of @p pe. */
+    Cycles clock(PeId pe) const { return clock_[pe]; }
+
+    /** Advance @p pe's local clock (idle time, instruction work, ...). */
+    void
+    advanceClock(PeId pe, Cycles by)
+    {
+        clock_[pe] += by;
+    }
+
+    /** The PE with the smallest clock among non-parked PEs (or kNoPe). */
+    PeId earliestRunnable() const;
+
+    /** Largest local clock across PEs (the run's makespan). */
+    Cycles makespan() const;
+
+    /**
+     * Write back and invalidate every cache without charging bus cycles
+     * (used around stop-and-copy GC, which the paper's model excludes).
+     */
+    void flushAllCaches();
+
+    std::uint32_t numPes() const { return config_.numPes; }
+    const SystemConfig& config() const { return config_; }
+    PimCache& cache(PeId pe) { return *caches_[pe]; }
+    const PimCache& cache(PeId pe) const { return *caches_[pe]; }
+    Bus& bus() { return *bus_; }
+    const Bus& bus() const { return *bus_; }
+    PagedStore& memory() { return memory_; }
+    RefStats& refStats() { return refStats_; }
+    const RefStats& refStats() const { return refStats_; }
+
+    /** Aggregate cache statistics over all PEs. */
+    CacheStats totalCacheStats() const;
+
+    /**
+     * Observe every completed reference (post-policy). Used to capture
+     * traces for later trace-driven replay; pass nullptr to detach.
+     */
+    void
+    setRefObserver(std::function<void(const MemRef&)> observer)
+    {
+        refObserver_ = std::move(observer);
+    }
+
+    // UnlockListener ------------------------------------------------------
+    void onUnlockBroadcast(Addr word_addr, Cycles when) override;
+
+  private:
+    SystemConfig config_;
+    PagedStore memory_;
+    std::unique_ptr<Bus> bus_;
+    std::vector<std::unique_ptr<PimCache>> caches_;
+    std::vector<Cycles> clock_;
+    std::vector<Addr> parkedOn_; ///< Block a PE busy-waits on (kNoAddr).
+    RefStats refStats_;
+    std::function<void(const MemRef&)> refObserver_;
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_SIM_SYSTEM_H_

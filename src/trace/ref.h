@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Memory operations and memory-reference records.
+ *
+ * These are the nine memory operations of the paper: the ordinary R and W,
+ * the three lock operations LR / UW / U (Section 3.1), and the four
+ * software-controlled optimized commands DW / ER / RP / RI (Section 3.2).
+ */
+
+#ifndef PIMCACHE_TRACE_REF_H_
+#define PIMCACHE_TRACE_REF_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "mem/area.h"
+
+namespace pim {
+
+/** Processor-side memory operations accepted by the PIM cache. */
+enum class MemOp : std::uint8_t {
+    R = 0,  ///< Read.
+    W = 1,  ///< Write (fetch-on-write allocation).
+    LR = 2, ///< Lock and read.
+    UW = 3, ///< Write and unlock.
+    U = 4,  ///< Unlock (no data).
+    DW = 5, ///< Direct write: write-allocate without fetch.
+    ER = 6, ///< Exclusive read: invalidate supplier / purge own last word.
+    RP = 7, ///< Read purge: read then purge own copy.
+    RI = 8, ///< Read invalidate: read taking exclusive ownership.
+    DWD = 9, ///< Direct write for downward-growing stacks: allocates
+             ///< without fetch when the address is the *last* word of a
+             ///< block (paper Section 3.2: "to optimize both, two
+             ///< commands are necessary").
+};
+
+/** Number of MemOp enumerators. */
+inline constexpr int kNumMemOps = 10;
+
+/** Mnemonic as used in the paper. */
+inline const char*
+memOpName(MemOp op)
+{
+    switch (op) {
+      case MemOp::R:  return "R";
+      case MemOp::W:  return "W";
+      case MemOp::LR: return "LR";
+      case MemOp::UW: return "UW";
+      case MemOp::U:  return "U";
+      case MemOp::DW: return "DW";
+      case MemOp::ER: return "ER";
+      case MemOp::RP: return "RP";
+      case MemOp::RI: return "RI";
+      case MemOp::DWD: return "DWD";
+    }
+    return "?";
+}
+
+/** True for operations that read data into the processor. */
+inline bool
+memOpReads(MemOp op)
+{
+    switch (op) {
+      case MemOp::R:
+      case MemOp::LR:
+      case MemOp::ER:
+      case MemOp::RP:
+      case MemOp::RI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True for operations that write processor data to memory. */
+inline bool
+memOpWrites(MemOp op)
+{
+    return op == MemOp::W || op == MemOp::UW || op == MemOp::DW ||
+           op == MemOp::DWD;
+}
+
+/** True for the lock-protocol operations. */
+inline bool
+memOpLocks(MemOp op)
+{
+    return op == MemOp::LR || op == MemOp::UW || op == MemOp::U;
+}
+
+/**
+ * The unoptimized equivalent of an operation: what a cache without the
+ * Section 3.2 commands executes instead (DW -> W; ER/RP/RI -> R).
+ */
+inline MemOp
+demoteMemOp(MemOp op)
+{
+    switch (op) {
+      case MemOp::DW:
+      case MemOp::DWD:
+        return MemOp::W;
+      case MemOp::ER:
+      case MemOp::RP:
+      case MemOp::RI:
+        return MemOp::R;
+      default:
+        return op;
+    }
+}
+
+/** One memory reference as emitted by a PE. */
+struct MemRef {
+    Addr addr = 0;
+    MemOp op = MemOp::R;
+    Area area = Area::Unknown;
+    PeId pe = 0;
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_TRACE_REF_H_

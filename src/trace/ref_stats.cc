@@ -1,0 +1,77 @@
+#include "trace/ref_stats.h"
+
+#include <cstring>
+
+namespace pim {
+
+std::uint64_t
+RefStats::areaTotal(Area area) const
+{
+    std::uint64_t sum = 0;
+    for (int op = 0; op < kNumMemOps; ++op)
+        sum += counts_[static_cast<int>(area)][op];
+    return sum;
+}
+
+std::uint64_t
+RefStats::opTotal(MemOp op) const
+{
+    std::uint64_t sum = 0;
+    for (int area = 0; area < kNumAreaSlots; ++area)
+        sum += counts_[area][static_cast<int>(op)];
+    return sum;
+}
+
+std::uint64_t
+RefStats::opTotalDemoted(MemOp op) const
+{
+    std::uint64_t sum = 0;
+    for (int raw = 0; raw < kNumMemOps; ++raw) {
+        if (demoteMemOp(static_cast<MemOp>(raw)) == op)
+            sum += opTotal(static_cast<MemOp>(raw));
+    }
+    return sum;
+}
+
+std::uint64_t
+RefStats::opTotalDemoted(Area area, MemOp op) const
+{
+    std::uint64_t sum = 0;
+    for (int raw = 0; raw < kNumMemOps; ++raw) {
+        if (demoteMemOp(static_cast<MemOp>(raw)) == op)
+            sum += count(area, static_cast<MemOp>(raw));
+    }
+    return sum;
+}
+
+std::uint64_t
+RefStats::total() const
+{
+    std::uint64_t sum = 0;
+    for (int area = 0; area < kNumAreaSlots; ++area)
+        for (int op = 0; op < kNumMemOps; ++op)
+            sum += counts_[area][op];
+    return sum;
+}
+
+std::uint64_t
+RefStats::dataTotal() const
+{
+    return total() - areaTotal(Area::Instruction);
+}
+
+void
+RefStats::merge(const RefStats& other)
+{
+    for (int area = 0; area < kNumAreaSlots; ++area)
+        for (int op = 0; op < kNumMemOps; ++op)
+            counts_[area][op] += other.counts_[area][op];
+}
+
+void
+RefStats::clear()
+{
+    std::memset(counts_, 0, sizeof(counts_));
+}
+
+} // namespace pim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reference counters broken down by area and operation.
+ *
+ * Feeds Table 2 (references by area) and Table 3 (references by
+ * operation) of the paper.
+ */
+
+#ifndef PIMCACHE_TRACE_REF_STATS_H_
+#define PIMCACHE_TRACE_REF_STATS_H_
+
+#include <cstdint>
+
+#include "mem/area.h"
+#include "trace/ref.h"
+
+namespace pim {
+
+/** Counts of memory references by (area, operation). */
+class RefStats
+{
+  public:
+    /** Record one reference. */
+    void
+    record(const MemRef& ref)
+    {
+        counts_[static_cast<int>(ref.area)][static_cast<int>(ref.op)] += 1;
+    }
+
+    /** Count for one (area, op) pair. */
+    std::uint64_t
+    count(Area area, MemOp op) const
+    {
+        return counts_[static_cast<int>(area)][static_cast<int>(op)];
+    }
+
+    /** All references to @p area. */
+    std::uint64_t areaTotal(Area area) const;
+
+    /** All references with operation @p op (any area). */
+    std::uint64_t opTotal(MemOp op) const;
+
+    /**
+     * Operation total counting optimized commands as their unoptimized
+     * equivalent (DW counts as W; ER/RP/RI count as R), which is how the
+     * paper's Table 3 reports operations.
+     */
+    std::uint64_t opTotalDemoted(MemOp op) const;
+
+    /** Like opTotalDemoted but restricted to one area. */
+    std::uint64_t opTotalDemoted(Area area, MemOp op) const;
+
+    /** Grand total of references. */
+    std::uint64_t total() const;
+
+    /** Total of data references (everything except Instruction area). */
+    std::uint64_t dataTotal() const;
+
+    /** Merge another RefStats into this one. */
+    void merge(const RefStats& other);
+
+    /** Reset all counters. */
+    void clear();
+
+  private:
+    std::uint64_t counts_[kNumAreaSlots][kNumMemOps] = {};
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_TRACE_REF_STATS_H_

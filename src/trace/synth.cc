@@ -1,0 +1,203 @@
+#include "trace/synth.h"
+
+#include "common/xassert.h"
+
+namespace pim {
+
+std::vector<MemRef>
+makeRandomTraffic(const RandomTrafficConfig& config)
+{
+    Rng rng(config.seed);
+    std::vector<MemRef> out;
+    out.reserve(config.numPes * config.refsPerPe);
+    // Round-robin across PEs so the trace is interleaved.
+    std::vector<std::uint64_t> remaining(config.numPes, config.refsPerPe);
+    bool work = true;
+    while (work) {
+        work = false;
+        for (PeId pe = 0; pe < config.numPes; ++pe) {
+            if (remaining[pe] == 0)
+                continue;
+            work = true;
+            --remaining[pe];
+            const Addr addr = config.base + rng.below(config.spanWords);
+            const std::uint64_t dice = rng.below(10000);
+            if (dice < config.lockPctX100 && remaining[pe] > 0) {
+                --remaining[pe];
+                out.push_back({addr, MemOp::LR, Area::Heap, pe});
+                out.push_back({addr, MemOp::UW, Area::Heap, pe});
+            } else if (dice < config.lockPctX100 + config.writePctX100) {
+                out.push_back({addr, MemOp::W, Area::Heap, pe});
+            } else {
+                out.push_back({addr, MemOp::R, Area::Heap, pe});
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<MemRef>
+makeProducerConsumer(PeId producer, PeId consumer, std::uint32_t num_pes,
+                     Addr base, std::uint64_t pool_words,
+                     std::uint32_t message_words, std::uint64_t num_messages,
+                     bool optimized)
+{
+    PIM_ASSERT(producer < num_pes && consumer < num_pes);
+    PIM_ASSERT(message_words >= 1 && pool_words >= message_words);
+    std::vector<MemRef> out;
+    out.reserve(num_messages * message_words * 2);
+    Addr cursor = 0;
+    for (std::uint64_t m = 0; m < num_messages; ++m) {
+        if (cursor + message_words > pool_words)
+            cursor = 0;
+        const Addr rec = base + cursor;
+        cursor += message_words;
+        for (std::uint32_t w = 0; w < message_words; ++w) {
+            out.push_back({rec + w, optimized ? MemOp::DW : MemOp::W,
+                           Area::Comm, producer});
+        }
+        for (std::uint32_t w = 0; w < message_words; ++w) {
+            MemOp op = MemOp::R;
+            if (optimized) {
+                op = (w + 1 == message_words) ? MemOp::RP : MemOp::ER;
+            }
+            out.push_back({rec + w, op, Area::Comm, consumer});
+        }
+    }
+    return out;
+}
+
+std::vector<MemRef>
+makeMigratory(std::uint32_t num_pes, Addr base, std::uint64_t num_blocks,
+              std::uint32_t block_words, std::uint32_t rounds)
+{
+    std::vector<MemRef> out;
+    out.reserve(static_cast<std::size_t>(rounds) * num_pes * num_blocks * 2);
+    for (std::uint32_t round = 0; round < rounds; ++round) {
+        for (PeId pe = 0; pe < num_pes; ++pe) {
+            for (std::uint64_t b = 0; b < num_blocks; ++b) {
+                const Addr addr = base + b * block_words;
+                out.push_back({addr, MemOp::R, Area::Heap, pe});
+                out.push_back({addr, MemOp::W, Area::Heap, pe});
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<MemRef>
+makeLockTraffic(std::uint32_t num_pes, Addr hot, Addr private_base,
+                std::uint64_t rounds, std::uint32_t conflict_pct_x100,
+                std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<MemRef> out;
+    out.reserve(rounds * num_pes * 2);
+    std::vector<Addr> target(num_pes);
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+        // All PEs lock before any unlocks, so contended rounds really
+        // exercise the LWAIT / UL path during replay.
+        for (PeId pe = 0; pe < num_pes; ++pe) {
+            const bool contended = rng.below(10000) < conflict_pct_x100;
+            // Private words sit in distinct cache blocks: lock snooping
+            // is block-granular, so packing them together would make
+            // even "uncontended" locks conflict.
+            target[pe] = contended ? hot : private_base + pe * 16;
+            out.push_back({target[pe], MemOp::LR, Area::Heap, pe});
+        }
+        for (PeId pe = 0; pe < num_pes; ++pe)
+            out.push_back({target[pe], MemOp::UW, Area::Heap, pe});
+    }
+    return out;
+}
+
+std::vector<MemRef>
+makeOrParallel(std::uint32_t num_pes, Addr shared_base,
+               std::uint64_t shared_words, Addr private_base,
+               std::uint64_t private_stride, std::uint64_t refs_per_pe,
+               std::uint32_t task_grab_pct_x100, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<MemRef> out;
+    out.reserve(num_pes * refs_per_pe);
+    // Private binding-array cursor and a small task board per PE (the
+    // first 64 words of each private region act as its task pool).
+    std::vector<Addr> binding_top(num_pes);
+    for (PeId pe = 0; pe < num_pes; ++pe)
+        binding_top[pe] = private_base + pe * private_stride + 64;
+    std::vector<std::uint64_t> remaining(num_pes, refs_per_pe);
+    bool work = true;
+    while (work) {
+        work = false;
+        for (PeId pe = 0; pe < num_pes; ++pe) {
+            if (remaining[pe] == 0)
+                continue;
+            work = true;
+            --remaining[pe];
+            const std::uint64_t dice = rng.below(10000);
+            if (dice < task_grab_pct_x100 && num_pes > 1) {
+                // Task grab: write a descriptor into a victim's task
+                // board, then read one back (write-once/read-once).
+                PeId victim = static_cast<PeId>(rng.below(num_pes));
+                if (victim == pe)
+                    victim = (victim + 1) % num_pes;
+                const Addr slot = private_base +
+                                  victim * private_stride +
+                                  rng.below(64);
+                out.push_back({slot, MemOp::W, Area::Comm, pe});
+                out.push_back({slot, MemOp::RI, Area::Comm, pe});
+            } else if (dice < task_grab_pct_x100 + 4500) {
+                // Clause/program lookup: shared, read-only.
+                out.push_back({shared_base + rng.below(shared_words),
+                               MemOp::R, Area::Instruction, pe});
+            } else {
+                // Binding-array write (trail-like: mostly fresh, private).
+                out.push_back({binding_top[pe]++, MemOp::DW, Area::Heap,
+                               pe});
+                if (rng.chance(1, 4)) {
+                    // Re-read a recent binding.
+                    const std::uint64_t span =
+                        binding_top[pe] -
+                        (private_base + pe * private_stride + 64);
+                    out.push_back({binding_top[pe] - 1 -
+                                       rng.below(std::min<std::uint64_t>(
+                                           span, 256)),
+                                   MemOp::R, Area::Heap, pe});
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<MemRef>
+makeHeapGrowth(std::uint32_t num_pes, Addr base, std::uint64_t seg_stride,
+               std::uint64_t structs_per_pe, std::uint32_t struct_words,
+               bool optimized, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<MemRef> out;
+    out.reserve(num_pes * structs_per_pe * (struct_words + 1));
+    std::vector<Addr> top(num_pes);
+    for (PeId pe = 0; pe < num_pes; ++pe)
+        top[pe] = base + pe * seg_stride;
+    for (std::uint64_t s = 0; s < structs_per_pe; ++s) {
+        for (PeId pe = 0; pe < num_pes; ++pe) {
+            const Addr rec = top[pe];
+            top[pe] += struct_words;
+            for (std::uint32_t w = 0; w < struct_words; ++w) {
+                out.push_back({rec + w, optimized ? MemOp::DW : MemOp::W,
+                               Area::Heap, pe});
+            }
+            // Re-read one word of a random structure written so far.
+            const std::uint64_t back = rng.below(s + 1);
+            const Addr old = base + pe * seg_stride +
+                             back * struct_words +
+                             rng.below(struct_words);
+            out.push_back({old, MemOp::R, Area::Heap, pe});
+        }
+    }
+    return out;
+}
+
+} // namespace pim

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Single-cache behaviour: hits, misses, state transitions local to one
+ * PE, LRU replacement, write-back of dirty victims, data correctness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bus/bus.h"
+#include "cache/pim_cache.h"
+#include "mem/paged_store.h"
+
+namespace pim {
+namespace {
+
+class SingleCache : public ::testing::Test
+{
+  protected:
+    SingleCache() : memory_(1 << 20), bus_(BusTiming{}, memory_)
+    {
+        CacheConfig config;
+        config.geometry = {4, 2, 4}; // 4-word blocks, 2 ways, 4 sets
+        cache_ = std::make_unique<PimCache>(0, config, bus_);
+    }
+
+    PimCache::AccessResult
+    op(MemOp memop, Addr addr, Word wdata = 0, Cycles now = 0)
+    {
+        return cache_->access({addr, memop, Area::Heap, 0}, wdata, now);
+    }
+
+    PagedStore memory_;
+    Bus bus_;
+    std::unique_ptr<PimCache> cache_;
+};
+
+TEST_F(SingleCache, ReadMissInstallsExclusiveClean)
+{
+    memory_.write(17, 99);
+    const auto result = op(MemOp::R, 17);
+    EXPECT_EQ(result.data, 99u);
+    EXPECT_EQ(cache_->stateOf(17), CacheState::EC);
+    EXPECT_EQ(cache_->stats().misses, 1u);
+    EXPECT_EQ(result.doneAt, 13u);
+}
+
+TEST_F(SingleCache, ReadHitCostsOneCycle)
+{
+    op(MemOp::R, 20);
+    const auto hit = op(MemOp::R, 22, 0, 100);
+    EXPECT_EQ(hit.doneAt, 101u);
+    EXPECT_EQ(cache_->stats().misses, 1u);
+    EXPECT_EQ(cache_->stats().accesses, 2u);
+}
+
+TEST_F(SingleCache, WriteHitOnExclusiveCleanSilentlyUpgrades)
+{
+    op(MemOp::R, 8);
+    EXPECT_EQ(cache_->stateOf(8), CacheState::EC);
+    op(MemOp::W, 8, 5);
+    EXPECT_EQ(cache_->stateOf(8), CacheState::EM);
+    EXPECT_EQ(bus_.stats().cmdCounts[static_cast<int>(BusCmd::I)], 0u);
+    EXPECT_EQ(op(MemOp::R, 8).data, 5u);
+}
+
+TEST_F(SingleCache, WriteMissFetchesWithInvalidate)
+{
+    op(MemOp::W, 40, 7);
+    EXPECT_EQ(cache_->stateOf(40), CacheState::EM);
+    EXPECT_EQ(bus_.stats().cmdCounts[static_cast<int>(BusCmd::FI)], 1u);
+    EXPECT_EQ(memory_.read(40), 0u); // copy-back only on eviction
+}
+
+TEST_F(SingleCache, DirtyVictimWritesBack)
+{
+    // Three blocks mapping to set 0 in a 2-way cache: 0, 64, 128
+    // (block number % 4 == 0).
+    op(MemOp::W, 0, 11);
+    op(MemOp::R, 64);
+    op(MemOp::R, 128); // evicts block 0 (LRU), which is dirty
+    EXPECT_EQ(memory_.read(0), 11u);
+    EXPECT_EQ(cache_->stats().swapOuts, 1u);
+    EXPECT_EQ(cache_->stateOf(0), CacheState::INV);
+}
+
+TEST_F(SingleCache, CleanVictimDropsSilently)
+{
+    op(MemOp::R, 0);
+    op(MemOp::R, 64);
+    const std::uint64_t writes_before = bus_.stats().memoryWrites;
+    op(MemOp::R, 128);
+    EXPECT_EQ(bus_.stats().memoryWrites, writes_before);
+    EXPECT_EQ(cache_->stats().evictions, 1u);
+    EXPECT_EQ(cache_->stats().swapOuts, 0u);
+}
+
+TEST_F(SingleCache, LruPrefersRecentlyTouched)
+{
+    op(MemOp::R, 0);
+    op(MemOp::R, 64);
+    op(MemOp::R, 0);   // touch block 0 again
+    op(MemOp::R, 128); // must evict block 64
+    EXPECT_TRUE(cache_->present(0));
+    EXPECT_FALSE(cache_->present(64));
+    EXPECT_TRUE(cache_->present(128));
+}
+
+TEST_F(SingleCache, DataSurvivesEvictionRoundTrip)
+{
+    op(MemOp::W, 1, 0xaa);
+    op(MemOp::W, 2, 0xbb);
+    op(MemOp::R, 64);
+    op(MemOp::R, 128); // evict block 0
+    EXPECT_FALSE(cache_->present(1));
+    EXPECT_EQ(op(MemOp::R, 1).data, 0xaau); // refetched from memory
+    EXPECT_EQ(op(MemOp::R, 2).data, 0xbbu);
+}
+
+TEST_F(SingleCache, SeparateSetsDoNotConflict)
+{
+    op(MemOp::W, 0, 1);   // set 0
+    op(MemOp::W, 4, 2);   // set 1
+    op(MemOp::W, 8, 3);   // set 2
+    op(MemOp::W, 12, 4);  // set 3
+    EXPECT_TRUE(cache_->present(0));
+    EXPECT_TRUE(cache_->present(4));
+    EXPECT_TRUE(cache_->present(8));
+    EXPECT_TRUE(cache_->present(12));
+    EXPECT_EQ(cache_->stats().evictions, 0u);
+}
+
+TEST_F(SingleCache, FlushAllWritesDirtyAndInvalidates)
+{
+    op(MemOp::W, 0, 77);
+    op(MemOp::R, 4);
+    const Cycles bus_before = bus_.stats().totalCycles;
+    cache_->flushAll();
+    EXPECT_EQ(memory_.read(0), 77u);
+    EXPECT_FALSE(cache_->present(0));
+    EXPECT_FALSE(cache_->present(4));
+    EXPECT_EQ(bus_.stats().totalCycles, bus_before); // free of bus cycles
+}
+
+TEST_F(SingleCache, LoadValueFallsBackToMemory)
+{
+    memory_.write(300, 123);
+    EXPECT_EQ(cache_->loadValue(300), 123u);
+    op(MemOp::W, 300, 124);
+    EXPECT_EQ(cache_->loadValue(300), 124u);
+    EXPECT_EQ(memory_.read(300), 123u); // not yet copied back
+}
+
+TEST_F(SingleCache, MissRatioComputation)
+{
+    op(MemOp::R, 0);
+    op(MemOp::R, 1);
+    op(MemOp::R, 2);
+    op(MemOp::R, 3);
+    EXPECT_DOUBLE_EQ(cache_->stats().missRatio(), 0.25);
+}
+
+TEST(CacheGeometry, CapacityAndBits)
+{
+    const CacheGeometry base; // 4 words x 4 ways x 256 sets
+    EXPECT_EQ(base.capacityWords(), 4096u);
+    // The paper: a four-Kword cache is about 190000 bits.
+    EXPECT_NEAR(static_cast<double>(base.storageBits()), 190000.0, 5000.0);
+}
+
+TEST(CacheGeometry, ForCapacity)
+{
+    const CacheGeometry geom = CacheGeometry::forCapacity(8192, 4, 4);
+    EXPECT_EQ(geom.sets, 512u);
+    EXPECT_EQ(geom.capacityWords(), 8192u);
+}
+
+TEST(CacheGeometryDeath, RejectsNonPowerOfTwo)
+{
+    CacheGeometry geom;
+    geom.sets = 3;
+    EXPECT_DEATH(geom.validate(), "power of two");
+}
+
+} // namespace
+} // namespace pim

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the four software-controlled commands of paper Section 3.2:
+ * direct write (DW), exclusive read (ER), read purge (RP) and read
+ * invalidate (RI), including the full write-once/read-once goal-record
+ * handoff that motivates them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.h"
+
+namespace pim {
+namespace {
+
+SystemConfig
+smallSystem()
+{
+    SystemConfig config;
+    config.numPes = 4;
+    config.cache.geometry = {4, 2, 8};
+    config.memoryWords = 1 << 20;
+    return config;
+}
+
+class Optimized : public ::testing::Test
+{
+  protected:
+    Optimized() : sys_(smallSystem()) {}
+
+    Word
+    op(PeId pe, MemOp memop, Addr addr, Word wdata = 0,
+       Area area = Area::Goal)
+    {
+        const System::Access result =
+            sys_.access(pe, memop, addr, area, wdata);
+        EXPECT_FALSE(result.lockWait);
+        return result.data;
+    }
+
+    System sys_;
+};
+
+// ---------------------------------------------------------------- DW --
+
+TEST_F(Optimized, DwOnBlockBoundaryAllocatesWithoutFetch)
+{
+    sys_.memory().write(100, 0xdead); // must NOT be fetched
+    op(0, MemOp::DW, 100, 7);
+    EXPECT_EQ(sys_.cache(0).stateOf(100), CacheState::EM);
+    EXPECT_EQ(sys_.cache(0).stats().dwAllocNoFetch, 1u);
+    EXPECT_EQ(sys_.bus().stats().totalCycles, 0u); // zero bus cycles
+    EXPECT_EQ(op(0, MemOp::R, 100), 7u);
+    EXPECT_EQ(sys_.cache(0).loadValue(101), 0u); // not 0xdead leftovers
+}
+
+TEST_F(Optimized, DwOffBoundaryBecomesWrite)
+{
+    op(0, MemOp::DW, 101, 7);
+    EXPECT_EQ(sys_.cache(0).stats().dwDemoted, 1u);
+    EXPECT_EQ(sys_.cache(0).stats().dwAllocNoFetch, 0u);
+    // The demoted W fetched on write: a real FI went out.
+    EXPECT_EQ(sys_.bus().stats().cmdCounts[static_cast<int>(BusCmd::FI)],
+              1u);
+}
+
+TEST_F(Optimized, DwOnHitBecomesWrite)
+{
+    op(0, MemOp::R, 100);
+    op(0, MemOp::DW, 100, 3);
+    EXPECT_EQ(sys_.cache(0).stats().dwDemoted, 1u);
+    EXPECT_EQ(op(0, MemOp::R, 100), 3u);
+}
+
+TEST_F(Optimized, DwSequenceFillsRecord)
+{
+    for (Addr a = 100; a < 108; ++a)
+        op(0, MemOp::DW, a, a);
+    EXPECT_EQ(sys_.cache(0).stats().dwAllocNoFetch, 2u); // two boundaries
+    EXPECT_EQ(sys_.cache(0).stats().dwDemoted, 6u);
+    for (Addr a = 100; a < 108; ++a)
+        EXPECT_EQ(op(0, MemOp::R, a), a);
+    // The six demoted DWs all hit the freshly allocated blocks: the only
+    // bus traffic is zero (no dirty victims, no fetches).
+    EXPECT_EQ(sys_.bus().stats().totalCycles, 0u);
+}
+
+TEST_F(Optimized, DwDirtyVictimUsesSwapOutOnly)
+{
+    // Fill set 0 of pe0's 2-way cache with dirty blocks, then DW a third.
+    op(0, MemOp::W, 0, 1, Area::Heap);
+    op(0, MemOp::W, 128, 2, Area::Heap);
+    const Cycles before = sys_.bus().stats().totalCycles;
+    op(0, MemOp::DW, 256, 3, Area::Heap);
+    EXPECT_EQ(sys_.bus().stats().totalCycles - before, 5u);
+    EXPECT_EQ(sys_.cache(0).stats().dwSwapOutOnly, 1u);
+    EXPECT_EQ(sys_.memory().read(0), 1u); // victim written back
+}
+
+TEST_F(Optimized, DwdAllocatesAtBlockEnd)
+{
+    // DWD: the downward-stack twin of DW (paper: "to optimize both, two
+    // commands are necessary"). Writing the LAST word of a block
+    // allocates without fetch; other offsets demote to W.
+    sys_.memory().write(100, 0xdead);
+    op(0, MemOp::DWD, 103, 9, Area::Heap); // last word of block [100,104)
+    EXPECT_EQ(sys_.cache(0).stateOf(103), CacheState::EM);
+    EXPECT_EQ(sys_.cache(0).stats().dwAllocNoFetch, 1u);
+    EXPECT_EQ(sys_.bus().stats().totalCycles, 0u);
+    EXPECT_EQ(op(0, MemOp::R, 103), 9u);
+    EXPECT_EQ(sys_.cache(0).loadValue(100), 0u); // not fetched
+}
+
+TEST_F(Optimized, DwdOffBoundaryBecomesWrite)
+{
+    op(0, MemOp::DWD, 100, 9, Area::Heap); // first word: not a DWD point
+    EXPECT_EQ(sys_.cache(0).stats().dwDemoted, 1u);
+    EXPECT_EQ(sys_.cache(0).stats().dwAllocNoFetch, 0u);
+}
+
+TEST_F(Optimized, DwdDownwardStackPattern)
+{
+    // A stack growing downward from 199: every block is entered at its
+    // last word, so each block costs zero bus cycles to allocate.
+    for (Addr a = 199; a >= 180; --a)
+        op(0, MemOp::DWD, a, a, Area::Heap);
+    EXPECT_EQ(sys_.cache(0).stats().dwAllocNoFetch, 5u);
+    EXPECT_EQ(sys_.bus().stats().totalCycles, 0u);
+    for (Addr a = 199; a >= 180; --a)
+        EXPECT_EQ(op(0, MemOp::R, a), a);
+}
+
+// ---------------------------------------------------------------- ER --
+
+TEST_F(Optimized, ErMissNotLastWordInvalidatesSupplier)
+{
+    op(0, MemOp::W, 100, 11);
+    op(1, MemOp::ER, 100);
+    // Case (i): read-invalidate; supplier loses its copy, the receiver
+    // becomes the exclusive dirty owner, memory untouched.
+    EXPECT_EQ(sys_.cache(0).stateOf(100), CacheState::INV);
+    EXPECT_EQ(sys_.cache(1).stateOf(100), CacheState::EM);
+    EXPECT_EQ(sys_.cache(1).stats().erAsRi, 1u);
+    EXPECT_EQ(sys_.bus().stats().memoryWrites, 0u);
+}
+
+TEST_F(Optimized, ErHitLastWordPurges)
+{
+    op(0, MemOp::W, 100, 1);
+    op(0, MemOp::W, 103, 2);
+    EXPECT_EQ(op(0, MemOp::ER, 103), 2u);
+    // Case (ii): read then purge own copy, without copy-back.
+    EXPECT_FALSE(sys_.cache(0).present(100));
+    EXPECT_EQ(sys_.cache(0).stats().erAsRp, 1u);
+    EXPECT_EQ(sys_.cache(0).stats().purgedDirty, 1u);
+    EXPECT_EQ(sys_.bus().stats().memoryWrites, 0u);
+}
+
+TEST_F(Optimized, ErHitNotLastWordIsPlainRead)
+{
+    op(0, MemOp::W, 100, 1);
+    EXPECT_EQ(op(0, MemOp::ER, 101), 0u);
+    EXPECT_TRUE(sys_.cache(0).present(100));
+    EXPECT_EQ(sys_.cache(0).stats().erAsR, 1u);
+}
+
+TEST_F(Optimized, ErMissLastWordIsPlainRead)
+{
+    sys_.memory().write(103, 5);
+    EXPECT_EQ(op(0, MemOp::ER, 103), 5u);
+    EXPECT_TRUE(sys_.cache(0).present(103)); // installed, not purged
+    EXPECT_EQ(sys_.cache(0).stats().erAsR, 1u);
+}
+
+// ---------------------------------------------------------------- RP --
+
+TEST_F(Optimized, RpHitPurgesOwnCopy)
+{
+    op(0, MemOp::W, 100, 9);
+    EXPECT_EQ(op(0, MemOp::RP, 101), 0u);
+    EXPECT_FALSE(sys_.cache(0).present(100));
+    EXPECT_EQ(sys_.cache(0).stats().purgedDirty, 1u);
+    EXPECT_EQ(sys_.bus().stats().memoryWrites, 0u);
+}
+
+TEST_F(Optimized, RpMissFetchesWithoutInstalling)
+{
+    op(0, MemOp::W, 100, 9);
+    EXPECT_EQ(op(1, MemOp::RP, 100), 9u);
+    // Supplier invalidated, receiver never keeps a copy.
+    EXPECT_EQ(sys_.cache(0).stateOf(100), CacheState::INV);
+    EXPECT_FALSE(sys_.cache(1).present(100));
+    EXPECT_EQ(sys_.bus().stats().memoryWrites, 0u);
+}
+
+TEST_F(Optimized, RpMissFromMemory)
+{
+    sys_.memory().write(100, 4);
+    EXPECT_EQ(op(0, MemOp::RP, 100), 4u);
+    EXPECT_FALSE(sys_.cache(0).present(100));
+}
+
+// ---------------------------------------------------------------- RI --
+
+TEST_F(Optimized, RiMissTakesExclusiveAndAvoidsLaterInvalidate)
+{
+    op(0, MemOp::W, 100, 1, Area::Comm);
+    op(1, MemOp::RI, 100, 0, Area::Comm);
+    EXPECT_EQ(sys_.cache(1).stateOf(100), CacheState::EM);
+    const std::uint64_t inv_before =
+        sys_.bus().stats().cmdCounts[static_cast<int>(BusCmd::I)];
+    op(1, MemOp::W, 100, 2, Area::Comm); // rewrite: silent, no I command
+    EXPECT_EQ(sys_.bus().stats().cmdCounts[static_cast<int>(BusCmd::I)],
+              inv_before);
+}
+
+TEST_F(Optimized, PlainReadThenWriteNeedsInvalidate)
+{
+    // Contrast case for RI: with plain R the rewrite costs an I command.
+    op(0, MemOp::W, 100, 1, Area::Comm);
+    op(1, MemOp::R, 100, 0, Area::Comm);
+    const std::uint64_t inv_before =
+        sys_.bus().stats().cmdCounts[static_cast<int>(BusCmd::I)];
+    op(1, MemOp::W, 100, 2, Area::Comm);
+    EXPECT_EQ(sys_.bus().stats().cmdCounts[static_cast<int>(BusCmd::I)],
+              inv_before + 1);
+}
+
+TEST_F(Optimized, RiHitIsPlainRead)
+{
+    op(0, MemOp::R, 100, 0, Area::Comm);
+    op(0, MemOp::RI, 100, 0, Area::Comm);
+    EXPECT_EQ(sys_.cache(0).stats().riCount, 1u);
+    EXPECT_EQ(sys_.cache(0).stats().riExclusive, 0u);
+}
+
+// ------------------------------------------------- full handoff -------
+
+TEST_F(Optimized, GoalRecordHandoffLeavesNoResidue)
+{
+    // pe0 creates an 8-word goal record with DW; pe1 consumes it with
+    // ER/RP. Afterwards: no cached copies, no memory writes, and the bus
+    // carried exactly two cache-to-cache transfers.
+    for (Addr a = 400; a < 408; ++a)
+        op(0, MemOp::DW, a, a * 10);
+    const Cycles before = sys_.bus().stats().totalCycles;
+    for (Addr a = 400; a < 407; ++a)
+        EXPECT_EQ(op(1, MemOp::ER, a), a * 10);
+    EXPECT_EQ(op(1, MemOp::RP, 407), 4070u);
+    EXPECT_FALSE(sys_.cache(0).present(400));
+    EXPECT_FALSE(sys_.cache(0).present(404));
+    EXPECT_FALSE(sys_.cache(1).present(400));
+    EXPECT_FALSE(sys_.cache(1).present(404));
+    EXPECT_EQ(sys_.bus().stats().memoryWrites, 0u);
+    // Two FI cache-to-cache transfers at 7 cycles each.
+    EXPECT_EQ(sys_.bus().stats().totalCycles - before, 14u);
+}
+
+TEST_F(Optimized, UnoptimizedHandoffCostsMore)
+{
+    // The same handoff through a policy-None system: fetch-on-write
+    // misses and eventual swap-outs make the bus busier.
+    SystemConfig config = smallSystem();
+    config.policy = OptPolicy::none();
+    System plain(config);
+    System optimized(smallSystem());
+    for (Addr a = 400; a < 408; ++a) {
+        plain.access(0, MemOp::DW, a, Area::Goal, a * 10);
+        optimized.access(0, MemOp::DW, a, Area::Goal, a * 10);
+    }
+    for (Addr a = 400; a < 408; ++a) {
+        const MemOp op = a == 407 ? MemOp::RP : MemOp::ER;
+        // Both systems observe the same values (functional equivalence).
+        EXPECT_EQ(plain.access(1, op, a, Area::Goal, 0).data,
+                  optimized.access(1, op, a, Area::Goal, 0).data);
+    }
+    EXPECT_GT(plain.bus().stats().totalCycles,
+              optimized.bus().stats().totalCycles);
+}
+
+TEST_F(Optimized, StaleFetchCounterCatchesContractViolation)
+{
+    op(0, MemOp::W, 100, 55);
+    op(0, MemOp::RP, 100); // purge dirty: value 55 is dropped
+    // Violation: re-reading after the purge fetches stale memory.
+    EXPECT_EQ(op(0, MemOp::R, 100), 0u);
+    EXPECT_EQ(sys_.bus().stats().staleFetches, 1u);
+}
+
+} // namespace
+} // namespace pim

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Exhaustive two-PE state-transition table for the PIM protocol: for
+ * every (local state, remote state, operation) combination, drive the
+ * caches into the initial states and verify the resulting pair of
+ * states against the expected transition (derived from paper Section 3
+ * and Matsumoto [10]).
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "sim/system.h"
+
+namespace pim {
+namespace {
+
+/** Initial state to set up in one cache (nullopt = not present). */
+using Init = std::optional<CacheState>;
+
+struct Transition {
+    Init local;           ///< pe0's initial state for the block.
+    Init remote;          ///< pe1's initial state for the block.
+    MemOp op;             ///< Operation pe0 performs.
+    CacheState localAfter;
+    CacheState remoteAfter; ///< INV also covers "not present".
+};
+
+/**
+ * Drive a fresh 2-PE system so that pe0/pe1 hold the target block in
+ * the requested states. Uses a scratch PE (pe2) to create shared /
+ * shared-modified combinations.
+ */
+class TransitionDriver
+{
+  public:
+    TransitionDriver()
+    {
+        SystemConfig config;
+        config.numPes = 3;
+        config.cache.geometry = {4, 2, 8};
+        config.memoryWords = 1 << 20;
+        sys_ = std::make_unique<System>(config);
+    }
+
+    static constexpr Addr kAddr = 100;
+
+    void
+    setup(Init local, Init remote)
+    {
+        // Construct remote (pe1) first, then local (pe0), then repair
+        // the remote state if constructing local disturbed it.
+        construct(1, remote);
+        construct(0, local);
+        if (remote.has_value() &&
+            sys_->cache(1).stateOf(kAddr) != *remote) {
+            reconstructPair(local, remote);
+        }
+        ASSERT_EQ(stateOr(0), local.value_or(CacheState::INV));
+        ASSERT_EQ(stateOr(1), remote.value_or(CacheState::INV));
+    }
+
+    CacheState
+    stateOr(PeId pe) const
+    {
+        return sys_->cache(pe).stateOf(kAddr);
+    }
+
+    System& sys() { return *sys_; }
+
+  private:
+    void
+    construct(PeId pe, Init init)
+    {
+        if (!init.has_value())
+            return;
+        switch (*init) {
+          case CacheState::EC:
+            sys_->access(pe, MemOp::R, kAddr, Area::Heap, 0);
+            break;
+          case CacheState::EM:
+            sys_->access(pe, MemOp::W, kAddr, Area::Heap, 7);
+            break;
+          case CacheState::S:
+            // Read, then let the scratch PE also read.
+            sys_->access(pe, MemOp::R, kAddr, Area::Heap, 0);
+            sys_->access(2, MemOp::R, kAddr, Area::Heap, 0);
+            break;
+          case CacheState::SM:
+            // Scratch writes, pe reads the dirty block (ownership moves).
+            sys_->access(2, MemOp::W, kAddr, Area::Heap, 9);
+            sys_->access(pe, MemOp::R, kAddr, Area::Heap, 0);
+            break;
+          case CacheState::INV:
+            break;
+        }
+    }
+
+    void
+    reconstructPair(Init local, Init remote)
+    {
+        // Combinations where both PEs hold the block: build them in one
+        // sequence instead of independently.
+        const CacheState l = local.value_or(CacheState::INV);
+        const CacheState r = remote.value_or(CacheState::INV);
+        if (l == CacheState::S && r == CacheState::S) {
+            sys_->access(1, MemOp::R, kAddr, Area::Heap, 0);
+            sys_->access(0, MemOp::R, kAddr, Area::Heap, 0);
+            return;
+        }
+        if (l == CacheState::SM && r == CacheState::S) {
+            sys_->access(1, MemOp::W, kAddr, Area::Heap, 5);
+            sys_->access(0, MemOp::R, kAddr, Area::Heap, 0);
+            return;
+        }
+        if (l == CacheState::S && r == CacheState::SM) {
+            sys_->access(0, MemOp::W, kAddr, Area::Heap, 5);
+            sys_->access(1, MemOp::R, kAddr, Area::Heap, 0);
+            return;
+        }
+        FAIL() << "unconstructible state pair";
+    }
+
+    std::unique_ptr<System> sys_;
+};
+
+class Transitions : public ::testing::TestWithParam<Transition>
+{
+};
+
+TEST_P(Transitions, FollowsProtocolTable)
+{
+    const Transition& t = GetParam();
+    TransitionDriver driver;
+    driver.setup(t.local, t.remote);
+    const System::Access result = driver.sys().access(
+        0, t.op, TransitionDriver::kAddr, Area::Goal, 1);
+    ASSERT_FALSE(result.lockWait);
+    EXPECT_EQ(driver.stateOr(0), t.localAfter) << "local state";
+    EXPECT_EQ(driver.stateOr(1), t.remoteAfter) << "remote state";
+    // Cleanup for lock ops so the directory drains.
+    if (t.op == MemOp::LR) {
+        driver.sys().access(0, MemOp::U, TransitionDriver::kAddr,
+                            Area::Goal, 0);
+    }
+}
+
+constexpr auto INV = CacheState::INV;
+constexpr auto S = CacheState::S;
+constexpr auto SM = CacheState::SM;
+constexpr auto EC = CacheState::EC;
+constexpr auto EM = CacheState::EM;
+const Init none = std::nullopt;
+
+INSTANTIATE_TEST_SUITE_P(
+    Reads, Transitions,
+    ::testing::Values(
+        // R: miss with no copy -> EC; supplied clean -> S/S; supplied
+        // dirty -> ownership migrates (SM here, S there).
+        Transition{none, none, MemOp::R, EC, INV},
+        Transition{none, Init{EC}, MemOp::R, S, S},
+        Transition{none, Init{EM}, MemOp::R, SM, S},
+        Transition{none, Init{S}, MemOp::R, S, S},
+        Transition{none, Init{SM}, MemOp::R, SM, S},
+        // R hits never change state.
+        Transition{Init{EC}, none, MemOp::R, EC, INV},
+        Transition{Init{EM}, none, MemOp::R, EM, INV},
+        Transition{Init{S}, Init{S}, MemOp::R, S, S},
+        Transition{Init{SM}, Init{S}, MemOp::R, SM, S}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Writes, Transitions,
+    ::testing::Values(
+        // W: always ends EM locally, INV remotely.
+        Transition{none, none, MemOp::W, EM, INV},
+        Transition{none, Init{EM}, MemOp::W, EM, INV},
+        Transition{none, Init{EC}, MemOp::W, EM, INV},
+        Transition{none, Init{S}, MemOp::W, EM, INV},
+        Transition{none, Init{SM}, MemOp::W, EM, INV},
+        Transition{Init{EC}, none, MemOp::W, EM, INV},
+        Transition{Init{EM}, none, MemOp::W, EM, INV},
+        Transition{Init{S}, Init{S}, MemOp::W, EM, INV},
+        Transition{Init{SM}, Init{S}, MemOp::W, EM, INV},
+        Transition{Init{S}, Init{SM}, MemOp::W, EM, INV}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Optimized, Transitions,
+    ::testing::Values(
+        // DW on a boundary miss allocates exclusively.
+        Transition{none, none, MemOp::DW, EM, INV},
+        // ER at a non-last word: read-invalidate (case i) on miss.
+        Transition{none, Init{EM}, MemOp::ER, EM, INV},
+        Transition{none, Init{EC}, MemOp::ER, EC, INV},
+        Transition{none, Init{SM}, MemOp::ER, EM, INV},
+        // ER hit at a non-last word: plain read.
+        Transition{Init{EM}, none, MemOp::ER, EM, INV},
+        // RP purges the local copy (read at offset 0 here: hit case).
+        Transition{Init{EM}, none, MemOp::RP, INV, INV},
+        Transition{Init{EC}, none, MemOp::RP, INV, INV},
+        Transition{Init{S}, Init{S}, MemOp::RP, INV, S},
+        // RP miss: fetch-invalidate without installing.
+        Transition{none, Init{EM}, MemOp::RP, INV, INV},
+        Transition{none, none, MemOp::RP, INV, INV},
+        // RI: exclusive on miss, plain read on hit.
+        Transition{none, Init{EM}, MemOp::RI, EM, INV},
+        Transition{none, Init{EC}, MemOp::RI, EC, INV},
+        Transition{none, none, MemOp::RI, EC, INV},
+        Transition{Init{S}, Init{S}, MemOp::RI, S, S}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Locks, Transitions,
+    ::testing::Values(
+        // LR behaves like an exclusive acquisition.
+        Transition{none, none, MemOp::LR, EC, INV},
+        Transition{Init{EC}, none, MemOp::LR, EC, INV},
+        Transition{Init{EM}, none, MemOp::LR, EM, INV},
+        Transition{none, Init{EM}, MemOp::LR, EM, INV},
+        Transition{none, Init{EC}, MemOp::LR, EC, INV},
+        Transition{Init{S}, Init{S}, MemOp::LR, EC, INV},
+        Transition{Init{SM}, Init{S}, MemOp::LR, EM, INV},
+        Transition{Init{S}, Init{SM}, MemOp::LR, EM, INV}));
+
+} // namespace
+} // namespace pim

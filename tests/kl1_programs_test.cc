@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Classic concurrent-logic-programming programs as integration tests:
+ * sorting, stream generators with ordered merges, trees, and stress
+ * shapes (deep recursion, wide fan-out) — all on the full 8-PE machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+#include "kl1_test_util.h"
+
+namespace pim::kl1 {
+namespace {
+
+using testutil::Outcome;
+using testutil::run;
+using testutil::smallConfig;
+
+TEST(Kl1Programs, Quicksort)
+{
+    const std::string src =
+        "qsort([], R) :- true | R = [].\n"
+        "qsort([P|Xs], R) :- true |\n"
+        "    part(P, Xs, Lo, Hi), qsort(Lo, SL), qsort(Hi, SH),\n"
+        "    app(SL, [P|SH], R).\n"
+        "part(_, [], Lo, Hi) :- true | Lo = [], Hi = [].\n"
+        "part(P, [X|Xs], Lo, Hi) :- X < P | Lo = [X|Lo1],\n"
+        "    part(P, Xs, Lo1, Hi).\n"
+        "part(P, [X|Xs], Lo, Hi) :- X >= P | Hi = [X|Hi1],\n"
+        "    part(P, Xs, Lo, Hi1).\n"
+        "app([], Y, Z) :- true | Z = Y.\n"
+        "app([H|T], Y, Z) :- true | Z = [H|W], app(T, Y, W).\n"
+        "main(R) :- true | qsort([5,3,8,1,9,2,7,4,6,0], R).\n";
+    EXPECT_EQ(run(src, "main(R).").bindings.at("R"),
+              "[0,1,2,3,4,5,6,7,8,9]");
+}
+
+TEST(Kl1Programs, MergeSort)
+{
+    const std::string src =
+        "msort([], R) :- true | R = [].\n"
+        "msort([X], R) :- true | R = [X].\n"
+        "msort([X, Y|Xs], R) :- true |\n"
+        "    split([X, Y|Xs], A, B), msort(A, SA), msort(B, SB),\n"
+        "    omerge(SA, SB, R).\n"
+        "split([], A, B) :- true | A = [], B = [].\n"
+        "split([X|Xs], A, B) :- true | A = [X|A1], split(Xs, B, A1).\n"
+        "omerge([], B, R) :- true | R = B.\n"
+        "omerge(A, [], R) :- true | R = A.\n"
+        "omerge([X|A], [Y|B], R) :- X =< Y | R = [X|R1],\n"
+        "    omerge(A, [Y|B], R1).\n"
+        "omerge([X|A], [Y|B], R) :- X > Y | R = [Y|R1],\n"
+        "    omerge([X|A], B, R1).\n"
+        "main(R) :- true | msort([7,2,9,1,8,3,6,4,5], R).\n";
+    EXPECT_EQ(run(src, "main(R).").bindings.at("R"),
+              "[1,2,3,4,5,6,7,8,9]");
+}
+
+TEST(Kl1Programs, HammingNumbers)
+{
+    // Ordered three-way merge of the 2x/3x/5x streams. Committed choice
+    // is eager, so the streams are bounded by value (<= Lim) rather
+    // than driven lazily by a consumer.
+    const std::string src =
+        "scale(_, [], _, R) :- true | R = [].\n"
+        "scale(K, [X|Xs], Lim, R) :- X * K =< Lim |\n"
+        "    Y := X * K, R = [Y|R1], scale(K, Xs, Lim, R1).\n"
+        "scale(K, [X|_], Lim, R) :- X * K > Lim | R = [].\n"
+        "omerge([], B, R) :- true | R = B.\n"
+        "omerge(A, [], R) :- true | R = A.\n"
+        "omerge([X|A], [Y|B], R) :- X < Y | R = [X|R1],\n"
+        "    omerge(A, [Y|B], R1).\n"
+        "omerge([X|A], [Y|B], R) :- X > Y | R = [Y|R1],\n"
+        "    omerge([X|A], B, R1).\n"
+        "omerge([X|A], [Y|B], R) :- X =:= Y | R = [X|R1],\n"
+        "    omerge(A, B, R1).\n"
+        "ham(Lim, H) :- true | H = [1|T],\n"
+        "    scale(2, H, Lim, H2), scale(3, H, Lim, H3),\n"
+        "    scale(5, H, Lim, H5),\n"
+        "    omerge(H2, H3, M1), omerge(M1, H5, T).\n"
+        "main(R) :- true | ham(16, R).\n";
+    const Outcome out = run(src, "main(R).", smallConfig(2));
+    EXPECT_EQ(out.bindings.at("R"), "[1,2,3,4,5,6,8,9,10,12,15,16]");
+}
+
+TEST(Kl1Programs, BinaryTreeInsertAndSum)
+{
+    const std::string src =
+        "insert(leaf, X, T) :- true | T = node(leaf, X, leaf).\n"
+        "insert(node(L, V, R), X, T) :- X < V |\n"
+        "    T = node(L1, V, R), insert(L, X, L1).\n"
+        "insert(node(L, V, R), X, T) :- X >= V |\n"
+        "    T = node(L, V, R1), insert(R, X, R1).\n"
+        "build([], T, Out) :- true | Out = T.\n"
+        "build([X|Xs], T, Out) :- true | insert(T, X, T1),\n"
+        "    build(Xs, T1, Out).\n"
+        "tsum(leaf, S) :- true | S = 0.\n"
+        "tsum(node(L, V, R), S) :- true |\n"
+        "    tsum(L, SL), tsum(R, SR), add3(SL, V, SR, S).\n"
+        "add3(A, B, C, S) :- integer(A), integer(C) | S := A + B + C.\n"
+        "main(R) :- true | build([8,3,5,9,1,7,2], leaf, T), tsum(T, R).\n";
+    EXPECT_EQ(run(src, "main(R).").bindings.at("R"), "35");
+}
+
+TEST(Kl1Programs, DeepRecursionStress)
+{
+    const std::string src =
+        "down(0, R) :- true | R = done.\n"
+        "down(N, R) :- N > 0 | N1 := N - 1, down(N1, R).\n";
+    const Outcome out = run(src, "down(50000, R).");
+    EXPECT_EQ(out.bindings.at("R"), "done");
+    EXPECT_EQ(out.stats.reductions, 50001u);
+}
+
+TEST(Kl1Programs, WideFanOutJoin)
+{
+    // 512 independent workers joined by a combining tree.
+    const std::string src =
+        "work(I, R) :- true | R := I * I mod 97.\n"
+        "fan(Lo, Hi, R) :- Lo =:= Hi | work(Lo, R).\n"
+        "fan(Lo, Hi, R) :- Lo < Hi |\n"
+        "    Mid := (Lo + Hi) // 2, Mid1 := Mid + 1,\n"
+        "    fan(Lo, Mid, A), fan(Mid1, Hi, B), join(A, B, R).\n"
+        "join(A, B, R) :- integer(A), integer(B) | R := A + B.\n";
+    const Outcome out = run(src, "fan(1, 512, R).", smallConfig(8));
+    // Host mirror.
+    long expected = 0;
+    for (int i = 1; i <= 512; ++i)
+        expected += i * i % 97;
+    EXPECT_EQ(out.bindings.at("R"), std::to_string(expected));
+    EXPECT_GT(out.stats.steals, 0u);
+}
+
+TEST(Kl1Programs, LongListThroughCachePressure)
+{
+    // A 20000-element list walked twice: far larger than the 1-Kword
+    // test caches, exercising eviction and refetch of heap data.
+    const std::string src =
+        "build(0, L) :- true | L = [].\n"
+        "build(N, L) :- N > 0 | N1 := N - 1, L = [N|T], build(N1, T).\n"
+        "sum([], A, R) :- true | R = A.\n"
+        "sum([X|Xs], A, R) :- true | A1 := A + X, sum(Xs, A1, R).\n"
+        "main(R) :- true | build(20000, L), sum(L, 0, S1),\n"
+        "    again(S1, L, R).\n"
+        "again(S1, L, R) :- integer(S1) | sum(L, 0, S2),\n"
+        "    fin(S1, S2, R).\n"
+        "fin(S1, S2, R) :- integer(S2) | R := S1 + S2.\n";
+    const Outcome out = run(src, "main(R).", smallConfig(1));
+    EXPECT_EQ(out.bindings.at("R"), "400020000"); // 2 * n(n+1)/2
+    EXPECT_GT(out.cache.evictions, 100u);
+}
+
+TEST(Kl1Programs, QueensCount)
+{
+    // The former Puzzle stand-in, kept as a program test: exhaustive
+    // N-queens counting with consed occupancy lists and a
+    // short-circuiting parallel and3 join.
+    const std::string src =
+        "queens(N, C) :- true | place(0, N, [], [], [], C).\n"
+        "place(N, N, _, _, _, C) :- true | C = 1.\n"
+        "place(I, N, Cols, D1, D2, C) :- I < N |\n"
+        "    lsum(Cs, 0, C), rows(I, N, 0, Cols, D1, D2, Cs).\n"
+        "rows(_, N, N, _, _, _, Cs) :- true | Cs = [].\n"
+        "rows(I, N, R, Cols, D1, D2, Cs) :- R < N | Cs = [C|Cs1],\n"
+        "    tryq(I, N, R, Cols, D1, D2, C), R1 := R + 1,\n"
+        "    rows(I, N, R1, Cols, D1, D2, Cs1).\n"
+        "tryq(I, N, R, Cols, D1, D2, C) :- true |\n"
+        "    P1 := R + I, P2 := R - I,\n"
+        "    safe(R, P1, P2, Cols, D1, D2, Ok),\n"
+        "    cont(Ok, I, N, R, P1, P2, Cols, D1, D2, C).\n"
+        "cont(no, _, _, _, _, _, _, _, _, C) :- true | C = 0.\n"
+        "cont(yes, I, N, R, P1, P2, Cols, D1, D2, C) :- true |\n"
+        "    I1 := I + 1,\n"
+        "    place(I1, N, [R|Cols], [P1|D1], [P2|D2], C).\n"
+        "safe(R, P1, P2, Cols, D1, D2, Ok) :- true |\n"
+        "    nin(R, Cols, O1), nin(P1, D1, O2), nin(P2, D2, O3),\n"
+        "    and3(O1, O2, O3, Ok).\n"
+        "nin(_, [], O) :- true | O = yes.\n"
+        "nin(X, [X|_], O) :- true | O = no.\n"
+        "nin(X, [Y|T], O) :- X =\\= Y | nin(X, T, O).\n"
+        "and3(no, _, _, O) :- true | O = no.\n"
+        "and3(_, no, _, O) :- true | O = no.\n"
+        "and3(_, _, no, O) :- true | O = no.\n"
+        "and3(yes, yes, yes, O) :- true | O = yes.\n"
+        "lsum([], A, R) :- true | R = A.\n"
+        "lsum([X|Xs], A, R) :- integer(X) | A1 := A + X,\n"
+        "    lsum(Xs, A1, R).\n";
+    EXPECT_EQ(run(src, "queens(6, R).").bindings.at("R"), "4");
+    EXPECT_EQ(run(src, "queens(7, R).").bindings.at("R"), "40");
+}
+
+TEST(Kl1Programs, AckermannSmall)
+{
+    const std::string src =
+        "ack(0, N, R) :- true | R := N + 1.\n"
+        "ack(M, 0, R) :- M > 0 | M1 := M - 1, ack(M1, 1, R).\n"
+        "ack(M, N, R) :- M > 0, N > 0 | N1 := N - 1,\n"
+        "    ack(M, N1, R1), go(M, R1, R).\n"
+        "go(M, R1, R) :- integer(R1) | M1 := M - 1, ack(M1, R1, R).\n";
+    EXPECT_EQ(run(src, "ack(2, 3, R).").bindings.at("R"), "9");
+    EXPECT_EQ(run(src, "ack(3, 3, R).").bindings.at("R"), "61");
+}
+
+TEST(Kl1Programs, RandomizedSortDifferential)
+{
+    // Differential testing: random inputs sorted by the KL1 quicksort
+    // must match std::sort, across seeds and PE counts.
+    const std::string src =
+        "qsort([], R) :- true | R = [].\n"
+        "qsort([P|Xs], R) :- true |\n"
+        "    part(P, Xs, Lo, Hi), qsort(Lo, SL), qsort(Hi, SH),\n"
+        "    app(SL, [P|SH], R).\n"
+        "part(_, [], Lo, Hi) :- true | Lo = [], Hi = [].\n"
+        "part(P, [X|Xs], Lo, Hi) :- X < P | Lo = [X|Lo1],\n"
+        "    part(P, Xs, Lo1, Hi).\n"
+        "part(P, [X|Xs], Lo, Hi) :- X >= P | Hi = [X|Hi1],\n"
+        "    part(P, Xs, Lo, Hi1).\n"
+        "app([], Y, Z) :- true | Z = Y.\n"
+        "app([H|T], Y, Z) :- true | Z = [H|W], app(T, Y, W).\n";
+    Rng rng(1234);
+    for (int trial = 0; trial < 6; ++trial) {
+        const std::size_t n = 5 + rng.below(40);
+        std::vector<long> values;
+        std::string list = "[";
+        for (std::size_t i = 0; i < n; ++i) {
+            const long v = static_cast<long>(rng.below(200)) - 100;
+            values.push_back(v);
+            list += (i ? "," : "") + std::to_string(v);
+        }
+        list += "]";
+        std::sort(values.begin(), values.end());
+        std::string expected = "[";
+        for (std::size_t i = 0; i < n; ++i)
+            expected += (i ? "," : "") + std::to_string(values[i]);
+        expected += "]";
+        const std::uint32_t pes = 1 + trial % 4;
+        const Outcome out =
+            run(src, "qsort(" + list + ", R).", smallConfig(pes));
+        EXPECT_EQ(out.bindings.at("R"), expected)
+            << "trial " << trial << " on " << pes << " PEs";
+    }
+}
+
+} // namespace
+} // namespace pim::kl1

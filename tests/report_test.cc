@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the standard report tables over a System.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/report.h"
+#include "sim/trace_replay.h"
+#include "trace/synth.h"
+
+namespace pim {
+namespace {
+
+class Reports : public ::testing::Test
+{
+  protected:
+    Reports()
+    {
+        SystemConfig config;
+        config.numPes = 2;
+        config.memoryWords = 1 << 20;
+        sys_ = std::make_unique<System>(config);
+        // Mixed traffic touching several areas and operations.
+        sys_->access(0, MemOp::DW, 0, Area::Goal, 1);
+        sys_->access(0, MemOp::W, 100, Area::Heap, 2);
+        sys_->access(1, MemOp::R, 100, Area::Heap, 0);
+        sys_->access(1, MemOp::LR, 200, Area::Heap, 0);
+        sys_->access(1, MemOp::UW, 200, Area::Heap, 3);
+        sys_->access(0, MemOp::RI, 300, Area::Comm, 0);
+        sys_->access(0, MemOp::RP, 0, Area::Goal, 0);
+    }
+
+    std::unique_ptr<System> sys_;
+};
+
+TEST_F(Reports, AreasContainsEveryAreaAndTotals)
+{
+    const std::string out = reportAreas(*sys_).toString();
+    for (const char* area : {"inst", "heap", "goal", "susp", "comm"})
+        EXPECT_NE(out.find(area), std::string::npos) << area;
+    EXPECT_NE(out.find("total"), std::string::npos);
+    EXPECT_NE(out.find("100.00"), std::string::npos);
+}
+
+TEST_F(Reports, OperationsListsOnlyUsedOps)
+{
+    const std::string out = reportOperations(*sys_).toString();
+    EXPECT_NE(out.find("| DW "), std::string::npos);
+    EXPECT_NE(out.find("| LR "), std::string::npos);
+    EXPECT_NE(out.find("| RI "), std::string::npos);
+    EXPECT_EQ(out.find("| ER "), std::string::npos); // never issued
+}
+
+TEST_F(Reports, BusPatternsReflectTraffic)
+{
+    const std::string out = reportBusPatterns(*sys_).toString();
+    EXPECT_NE(out.find("mem-fetch"), std::string::npos);
+    EXPECT_NE(out.find("c2c"), std::string::npos);
+}
+
+TEST_F(Reports, CacheSummaryTracksOptimizedCommands)
+{
+    const std::string out = reportCacheSummary(*sys_).toString();
+    EXPECT_NE(out.find("DW no-fetch allocations"), std::string::npos);
+    EXPECT_NE(out.find("purges (no copy-back)"), std::string::npos);
+    EXPECT_NE(out.find("stale fetches"), std::string::npos);
+}
+
+TEST_F(Reports, LocksShowRatios)
+{
+    const std::string out = reportLocks(*sys_).toString();
+    EXPECT_NE(out.find("LR hit-to-exclusive"), std::string::npos);
+    EXPECT_NE(out.find("unlock-to-no-waiter"), std::string::npos);
+}
+
+TEST_F(Reports, ReportAllConcatenatesEverything)
+{
+    const std::string out = reportAll(*sys_);
+    EXPECT_NE(out.find("references and bus cycles by area"),
+              std::string::npos);
+    EXPECT_NE(out.find("references by operation"), std::string::npos);
+    EXPECT_NE(out.find("bus transactions by pattern"),
+              std::string::npos);
+    EXPECT_NE(out.find("cache summary"), std::string::npos);
+    EXPECT_NE(out.find("lock protocol"), std::string::npos);
+}
+
+TEST(ReportsReplay, WorksAfterTraceReplay)
+{
+    SystemConfig config;
+    config.numPes = 4;
+    config.memoryWords = 1 << 22;
+    System sys(config);
+    const auto trace = makeOrParallel(4, 0, 1 << 10, 1 << 16, 1 << 16,
+                                      3000, 200, 5);
+    TraceReplay(sys, trace).run();
+    const std::string out = reportAll(sys);
+    EXPECT_NE(out.find("DWD") != std::string::npos ||
+                  out.find("DW") != std::string::npos,
+              false);
+}
+
+} // namespace
+} // namespace pim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Emulator <-> trace-replay consistency: a KL1 run's reference stream,
+ * captured through System::setRefObserver, must replay through an
+ * identically configured System with exactly the same reference counts
+ * and closely matching traffic (replay issues references in trace order
+ * rather than under engine/lock dynamics, so bus cycles are near but
+ * not bit-equal).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "kl1_test_util.h"
+#include "trace/trace_file.h"
+#include "sim/trace_replay.h"
+
+namespace pim::kl1 {
+namespace {
+
+TEST(TraceCapture, CapturedRunReplaysWithIdenticalRefCounts)
+{
+    const char* src =
+        "tree(0, R) :- true | R = 1.\n"
+        "tree(N, R) :- N > 0 | N1 := N - 1, tree(N1, A), tree(N1, B),\n"
+        "              add(A, B, R).\n"
+        "add(A, B, R) :- integer(A), integer(B) | R := A + B.\n";
+
+    const Kl1Config config = testutil::smallConfig(4);
+    Module module = compileProgram(parseProgram(src));
+    Emulator emu(std::move(module), config);
+    std::vector<MemRef> trace;
+    emu.system().setRefObserver(
+        [&](const MemRef& ref) { trace.push_back(ref); });
+    emu.run("tree(7, R).");
+    const RefStats& live = emu.system().refStats();
+    ASSERT_EQ(trace.size(), live.total());
+
+    // Replay the capture through a fresh system of the same shape. The
+    // policy must be pass-through: the captured operations are already
+    // post-policy.
+    SystemConfig sys_config;
+    sys_config.numPes = config.numPes;
+    sys_config.cache = config.cache;
+    sys_config.memoryWords = emu.layout().totalWords();
+    System replay_sys(sys_config);
+    TraceReplay replay(replay_sys, trace);
+    replay.run();
+
+    EXPECT_EQ(replay.completed(), trace.size());
+    const RefStats& replayed = replay_sys.refStats();
+    for (int a = 0; a < kNumAreaSlots; ++a) {
+        for (int o = 0; o < kNumMemOps; ++o) {
+            EXPECT_EQ(replayed.count(static_cast<Area>(a),
+                                     static_cast<MemOp>(o)),
+                      live.count(static_cast<Area>(a),
+                                 static_cast<MemOp>(o)))
+                << areaName(static_cast<Area>(a)) << "/"
+                << memOpName(static_cast<MemOp>(o));
+        }
+    }
+
+    // Traffic agreement: trace-driven replay lacks the engine's clock
+    // coupling, so allow a generous band around the live run.
+    const double live_cycles =
+        static_cast<double>(emu.system().bus().stats().totalCycles);
+    const double replay_cycles =
+        static_cast<double>(replay_sys.bus().stats().totalCycles);
+    EXPECT_GT(replay_cycles, live_cycles * 0.5);
+    EXPECT_LT(replay_cycles, live_cycles * 2.0);
+}
+
+TEST(TraceCapture, FileRoundTripPreservesTheRun)
+{
+    const char* src =
+        "count(0, A, R) :- true | R = A.\n"
+        "count(N, A, R) :- N > 0 | N1 := N - 1, A1 := A + N,\n"
+        "    count(N1, A1, R).\n";
+    const std::string path = ::testing::TempDir() + "/capture.pimtrace";
+
+    std::uint64_t live_total = 0;
+    {
+        Module module = compileProgram(parseProgram(src));
+        Emulator emu(std::move(module), testutil::smallConfig(2));
+        TraceWriter writer(path, 2);
+        emu.system().setRefObserver(
+            [&](const MemRef& ref) { writer.append(ref); });
+        emu.run("count(200, 0, R).");
+        live_total = emu.system().refStats().total();
+        writer.close();
+    }
+
+    TraceReader reader(path);
+    std::vector<MemRef> loaded;
+    MemRef ref;
+    while (reader.next(ref))
+        loaded.push_back(ref);
+    EXPECT_EQ(loaded.size(), live_total);
+
+    SystemConfig sys_config;
+    sys_config.numPes = 2;
+    sys_config.memoryWords = 1ull << 26;
+    System sys(sys_config);
+    TraceReplay replay(sys, loaded);
+    replay.run();
+    EXPECT_EQ(replay.completed(), loaded.size());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace pim::kl1

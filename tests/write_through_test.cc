@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the write-through baseline protocol (Goodman's motivation
+ * for copy-back): every write is a bus transaction, memory is always
+ * current, blocks are never dirty, and the optimized commands demote to
+ * plain reads/writes. Logic programs' high write frequency makes this
+ * baseline far more expensive — the premise of the paper's copy-back
+ * design.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "kl1_test_util.h"
+#include "sim/system.h"
+
+namespace pim {
+namespace {
+
+SystemConfig
+wtSystem(std::uint32_t pes = 4)
+{
+    SystemConfig config;
+    config.numPes = pes;
+    config.cache.geometry = {4, 2, 8};
+    config.cache.writeThrough = true;
+    config.memoryWords = 1 << 20;
+    return config;
+}
+
+class WriteThrough : public ::testing::Test
+{
+  protected:
+    WriteThrough() : sys_(wtSystem()) {}
+
+    Word
+    op(PeId pe, MemOp memop, Addr addr, Word wdata = 0)
+    {
+        const System::Access result =
+            sys_.access(pe, memop, addr, Area::Heap, wdata);
+        EXPECT_FALSE(result.lockWait);
+        return result.data;
+    }
+
+    System sys_;
+};
+
+TEST_F(WriteThrough, EveryWriteReachesMemoryImmediately)
+{
+    op(0, MemOp::W, 100, 7);
+    EXPECT_EQ(sys_.memory().read(100), 7u);
+    op(0, MemOp::W, 100, 8);
+    EXPECT_EQ(sys_.memory().read(100), 8u);
+    EXPECT_EQ(sys_.bus().stats().memoryWrites, 2u);
+}
+
+TEST_F(WriteThrough, WriteCostsWordTransaction)
+{
+    const Cycles before = sys_.bus().stats().totalCycles;
+    op(0, MemOp::W, 100, 7);
+    EXPECT_EQ(sys_.bus().stats().totalCycles - before, 2u);
+}
+
+TEST_F(WriteThrough, WriteMissDoesNotAllocate)
+{
+    op(0, MemOp::W, 100, 7);
+    EXPECT_FALSE(sys_.cache(0).present(100));
+    EXPECT_EQ(op(0, MemOp::R, 100), 7u); // fetched from memory
+    EXPECT_TRUE(sys_.cache(0).present(100));
+}
+
+TEST_F(WriteThrough, WriteInvalidatesRemoteCopies)
+{
+    op(0, MemOp::R, 100);
+    op(1, MemOp::R, 100);
+    op(0, MemOp::W, 100, 5);
+    EXPECT_EQ(sys_.cache(1).stateOf(100), CacheState::INV);
+    EXPECT_EQ(op(1, MemOp::R, 100), 5u);
+}
+
+TEST_F(WriteThrough, BlocksAreNeverDirty)
+{
+    op(0, MemOp::R, 100);
+    op(0, MemOp::W, 100, 3);
+    EXPECT_FALSE(cacheStateDirty(sys_.cache(0).stateOf(100)));
+    // Eviction of the block causes no swap-out.
+    op(0, MemOp::R, 228);
+    op(0, MemOp::R, 356);
+    EXPECT_EQ(sys_.totalCacheStats().swapOuts, 0u);
+}
+
+TEST_F(WriteThrough, OptimizedCommandsDemote)
+{
+    op(0, MemOp::DW, 100, 9); // acts as W: straight to memory
+    EXPECT_EQ(sys_.memory().read(100), 9u);
+    EXPECT_EQ(sys_.totalCacheStats().dwAllocNoFetch, 0u);
+    op(1, MemOp::ER, 100); // acts as R: supplier keeps its copy
+    op(1, MemOp::RP, 100);
+    EXPECT_EQ(sys_.totalCacheStats().purges, 0u);
+}
+
+TEST_F(WriteThrough, LocksStillWork)
+{
+    op(0, MemOp::LR, 100);
+    const System::Access blocked =
+        sys_.access(1, MemOp::R, 100, Area::Heap, 0);
+    EXPECT_TRUE(blocked.lockWait);
+    op(0, MemOp::UW, 100, 42);
+    EXPECT_EQ(sys_.memory().read(100), 42u); // written through
+    EXPECT_FALSE(sys_.parked(1));
+    EXPECT_EQ(op(1, MemOp::R, 100), 42u);
+}
+
+TEST_F(WriteThrough, UnlockWriteWhileCachedKeepsExclusivity)
+{
+    op(0, MemOp::R, 100); // EC
+    op(0, MemOp::LR, 100);
+    op(0, MemOp::UW, 100, 1);
+    EXPECT_EQ(sys_.cache(0).stateOf(100), CacheState::EC);
+    // The next LR is a zero-cost exclusive hit.
+    const Cycles before = sys_.bus().stats().totalCycles;
+    op(0, MemOp::LR, 100);
+    EXPECT_EQ(sys_.bus().stats().totalCycles, before);
+    op(0, MemOp::U, 100);
+}
+
+TEST_F(WriteThrough, ShadowConsistencyUnderRandomTraffic)
+{
+    Rng rng(21);
+    std::map<Addr, Word> shadow;
+    for (int step = 0; step < 6000; ++step) {
+        const PeId pe = static_cast<PeId>(rng.below(4));
+        const Addr addr = rng.below(256);
+        if (rng.chance(40, 100)) {
+            const Word value = step + 1;
+            op(pe, MemOp::W, addr, value);
+            shadow[addr] = value;
+            // Memory is always current under write-through.
+            ASSERT_EQ(sys_.memory().read(addr), value);
+        } else {
+            ASSERT_EQ(op(pe, MemOp::R, addr),
+                      shadow.count(addr) ? shadow[addr] : 0u);
+        }
+    }
+}
+
+TEST(WriteThroughKl1, ProgramsRunCorrectly)
+{
+    using namespace pim::kl1;
+    using pim::kl1::testutil::smallConfig;
+    Kl1Config config = smallConfig(4);
+    config.cache.writeThrough = true;
+    const auto out = testutil::run(
+        "append([], Y, Z) :- true | Z = Y.\n"
+        "append([H|T], Y, Z) :- true | Z = [H|W], append(T, Y, W).\n"
+        "main(R) :- true | append([1,2,3], [4], R).\n",
+        "main(R).", config);
+    EXPECT_EQ(out.bindings.at("R"), "[1,2,3,4]");
+}
+
+TEST(WriteThroughKl1, CopybackBeatsWriteThrough)
+{
+    // The paper's premise (via Goodman and Tick): logic programs write
+    // so much that write-through traffic dwarfs copy-back traffic.
+    using namespace pim::kl1;
+    using pim::kl1::testutil::smallConfig;
+    const char* src =
+        "build(0, L) :- true | L = [].\n"
+        "build(N, L) :- N > 0 | N1 := N - 1, L = [N|T], build(N1, T).\n"
+        "rev([], A, R) :- true | R = A.\n"
+        "rev([X|Xs], A, R) :- true | rev(Xs, [X|A], R).\n"
+        "len([], N, R) :- true | R = N.\n"
+        "len([_|T], N, R) :- true | N1 := N + 1, len(T, N1, R).\n"
+        "main(R) :- true | build(400, L), rev(L, [], M), len(M, 0, R).\n";
+    Kl1Config copyback = smallConfig(2);
+    Kl1Config wt = smallConfig(2);
+    wt.cache.writeThrough = true;
+    const auto cb_out = testutil::run(src, "main(R).", copyback);
+    const auto wt_out = testutil::run(src, "main(R).", wt);
+    EXPECT_EQ(cb_out.bindings.at("R"), wt_out.bindings.at("R"));
+    EXPECT_GT(wt_out.bus.totalCycles, 2 * cb_out.bus.totalCycles);
+}
+
+} // namespace
+} // namespace pim
