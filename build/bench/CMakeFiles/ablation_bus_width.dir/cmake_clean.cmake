@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bus_width.dir/ablation_bus_width.cc.o"
+  "CMakeFiles/ablation_bus_width.dir/ablation_bus_width.cc.o.d"
+  "ablation_bus_width"
+  "ablation_bus_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bus_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

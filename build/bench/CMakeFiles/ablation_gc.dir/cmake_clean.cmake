@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gc.dir/ablation_gc.cc.o"
+  "CMakeFiles/ablation_gc.dir/ablation_gc.cc.o.d"
+  "ablation_gc"
+  "ablation_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_locks.cc" "bench/CMakeFiles/ablation_locks.dir/ablation_locks.cc.o" "gcc" "bench/CMakeFiles/ablation_locks.dir/ablation_locks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_kl1/CMakeFiles/pim_bench_kl1.dir/DependInfo.cmake"
+  "/root/repo/build/src/kl1/CMakeFiles/pim_kl1.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pim_cache_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/pim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_locks.dir/ablation_locks.cc.o"
+  "CMakeFiles/ablation_locks.dir/ablation_locks.cc.o.d"
+  "ablation_locks"
+  "ablation_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

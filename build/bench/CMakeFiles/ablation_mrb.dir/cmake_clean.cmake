@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mrb.dir/ablation_mrb.cc.o"
+  "CMakeFiles/ablation_mrb.dir/ablation_mrb.cc.o.d"
+  "ablation_mrb"
+  "ablation_mrb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mrb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

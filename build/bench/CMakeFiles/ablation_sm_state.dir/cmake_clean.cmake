@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sm_state.dir/ablation_sm_state.cc.o"
+  "CMakeFiles/ablation_sm_state.dir/ablation_sm_state.cc.o.d"
+  "ablation_sm_state"
+  "ablation_sm_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sm_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_block_size.dir/fig1_block_size.cc.o"
+  "CMakeFiles/fig1_block_size.dir/fig1_block_size.cc.o.d"
+  "fig1_block_size"
+  "fig1_block_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_capacity.dir/fig2_capacity.cc.o"
+  "CMakeFiles/fig2_capacity.dir/fig2_capacity.cc.o.d"
+  "fig2_capacity"
+  "fig2_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

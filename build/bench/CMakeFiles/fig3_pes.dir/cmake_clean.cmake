@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pes.dir/fig3_pes.cc.o"
+  "CMakeFiles/fig3_pes.dir/fig3_pes.cc.o.d"
+  "fig3_pes"
+  "fig3_pes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_cache.dir/microbench_cache.cc.o"
+  "CMakeFiles/microbench_cache.dir/microbench_cache.cc.o.d"
+  "microbench_cache"
+  "microbench_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

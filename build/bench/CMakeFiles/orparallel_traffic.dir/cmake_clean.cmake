@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orparallel_traffic.dir/orparallel_traffic.cc.o"
+  "CMakeFiles/orparallel_traffic.dir/orparallel_traffic.cc.o.d"
+  "orparallel_traffic"
+  "orparallel_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orparallel_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_areas.dir/table2_areas.cc.o"
+  "CMakeFiles/table2_areas.dir/table2_areas.cc.o.d"
+  "table2_areas"
+  "table2_areas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_areas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_operations.dir/table3_operations.cc.o"
+  "CMakeFiles/table3_operations.dir/table3_operations.cc.o.d"
+  "table3_operations"
+  "table3_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_locks.dir/table5_locks.cc.o"
+  "CMakeFiles/table5_locks.dir/table5_locks.cc.o.d"
+  "table5_locks"
+  "table5_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl1run.dir/kl1run.cpp.o"
+  "CMakeFiles/kl1run.dir/kl1run.cpp.o.d"
+  "kl1run"
+  "kl1run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl1run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

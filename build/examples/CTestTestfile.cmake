@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(kl1run_nrev "/root/repo/build/examples/kl1run" "/root/repo/examples/programs/nrev.fghc" "main(R)." "--pes" "4")
+set_tests_properties(kl1run_nrev PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(kl1run_primes "/root/repo/build/examples/kl1run" "/root/repo/examples/programs/primes.fghc" "main(R)." "--pes" "4")
+set_tests_properties(kl1run_primes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(kl1run_hanoi "/root/repo/build/examples/kl1run" "/root/repo/examples/programs/hanoi.fghc" "main(R)." "--pes" "4")
+set_tests_properties(kl1run_hanoi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(kl1run_life "/root/repo/build/examples/kl1run" "/root/repo/examples/programs/life.fghc" "main(R)." "--pes" "4")
+set_tests_properties(kl1run_life PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(kl1run_disasm "/root/repo/build/examples/kl1run" "/root/repo/examples/programs/nrev.fghc" "--disasm")
+set_tests_properties(kl1run_disasm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(kl1run_report "/root/repo/build/examples/kl1run" "/root/repo/examples/programs/primes.fghc" "main(R)." "--report" "--policy" "none")
+set_tests_properties(kl1run_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(kl1run_gc "/root/repo/build/examples/kl1run" "/root/repo/examples/programs/hanoi.fghc" "main(R)." "--gc" "--heap" "16384")
+set_tests_properties(kl1run_gc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stream_pipeline "/root/repo/build/examples/stream_pipeline")
+set_tests_properties(example_stream_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lock_contention "/root/repo/build/examples/lock_contention")
+set_tests_properties(example_lock_contention PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_protocol_trace "/root/repo/build/examples/protocol_trace")
+set_tests_properties(example_protocol_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cache_explorer "/root/repo/build/examples/cache_explorer" "--pattern" "orparallel" "--pes" "4")
+set_tests_properties(example_cache_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")

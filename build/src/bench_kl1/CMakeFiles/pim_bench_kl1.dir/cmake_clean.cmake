@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_bench_kl1.dir/programs.cc.o"
+  "CMakeFiles/pim_bench_kl1.dir/programs.cc.o.d"
+  "CMakeFiles/pim_bench_kl1.dir/workload.cc.o"
+  "CMakeFiles/pim_bench_kl1.dir/workload.cc.o.d"
+  "libpim_bench_kl1.a"
+  "libpim_bench_kl1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_bench_kl1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pim_bench_kl1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_bus.dir/bus.cc.o"
+  "CMakeFiles/pim_bus.dir/bus.cc.o.d"
+  "libpim_bus.a"
+  "libpim_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

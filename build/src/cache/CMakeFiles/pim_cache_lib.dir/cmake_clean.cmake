@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_cache_lib.dir/cache_stats.cc.o"
+  "CMakeFiles/pim_cache_lib.dir/cache_stats.cc.o.d"
+  "CMakeFiles/pim_cache_lib.dir/lock_directory.cc.o"
+  "CMakeFiles/pim_cache_lib.dir/lock_directory.cc.o.d"
+  "CMakeFiles/pim_cache_lib.dir/pim_cache.cc.o"
+  "CMakeFiles/pim_cache_lib.dir/pim_cache.cc.o.d"
+  "libpim_cache_lib.a"
+  "libpim_cache_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_cache_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_common.dir/log.cc.o"
+  "CMakeFiles/pim_common.dir/log.cc.o.d"
+  "CMakeFiles/pim_common.dir/options.cc.o"
+  "CMakeFiles/pim_common.dir/options.cc.o.d"
+  "CMakeFiles/pim_common.dir/strutil.cc.o"
+  "CMakeFiles/pim_common.dir/strutil.cc.o.d"
+  "CMakeFiles/pim_common.dir/table.cc.o"
+  "CMakeFiles/pim_common.dir/table.cc.o.d"
+  "libpim_common.a"
+  "libpim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kl1/compiler.cc" "src/kl1/CMakeFiles/pim_kl1.dir/compiler.cc.o" "gcc" "src/kl1/CMakeFiles/pim_kl1.dir/compiler.cc.o.d"
+  "/root/repo/src/kl1/emulator.cc" "src/kl1/CMakeFiles/pim_kl1.dir/emulator.cc.o" "gcc" "src/kl1/CMakeFiles/pim_kl1.dir/emulator.cc.o.d"
+  "/root/repo/src/kl1/gc.cc" "src/kl1/CMakeFiles/pim_kl1.dir/gc.cc.o" "gcc" "src/kl1/CMakeFiles/pim_kl1.dir/gc.cc.o.d"
+  "/root/repo/src/kl1/lexer.cc" "src/kl1/CMakeFiles/pim_kl1.dir/lexer.cc.o" "gcc" "src/kl1/CMakeFiles/pim_kl1.dir/lexer.cc.o.d"
+  "/root/repo/src/kl1/machine.cc" "src/kl1/CMakeFiles/pim_kl1.dir/machine.cc.o" "gcc" "src/kl1/CMakeFiles/pim_kl1.dir/machine.cc.o.d"
+  "/root/repo/src/kl1/module.cc" "src/kl1/CMakeFiles/pim_kl1.dir/module.cc.o" "gcc" "src/kl1/CMakeFiles/pim_kl1.dir/module.cc.o.d"
+  "/root/repo/src/kl1/parser.cc" "src/kl1/CMakeFiles/pim_kl1.dir/parser.cc.o" "gcc" "src/kl1/CMakeFiles/pim_kl1.dir/parser.cc.o.d"
+  "/root/repo/src/kl1/symtab.cc" "src/kl1/CMakeFiles/pim_kl1.dir/symtab.cc.o" "gcc" "src/kl1/CMakeFiles/pim_kl1.dir/symtab.cc.o.d"
+  "/root/repo/src/kl1/term.cc" "src/kl1/CMakeFiles/pim_kl1.dir/term.cc.o" "gcc" "src/kl1/CMakeFiles/pim_kl1.dir/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pim_cache_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/pim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_kl1.dir/compiler.cc.o"
+  "CMakeFiles/pim_kl1.dir/compiler.cc.o.d"
+  "CMakeFiles/pim_kl1.dir/emulator.cc.o"
+  "CMakeFiles/pim_kl1.dir/emulator.cc.o.d"
+  "CMakeFiles/pim_kl1.dir/gc.cc.o"
+  "CMakeFiles/pim_kl1.dir/gc.cc.o.d"
+  "CMakeFiles/pim_kl1.dir/lexer.cc.o"
+  "CMakeFiles/pim_kl1.dir/lexer.cc.o.d"
+  "CMakeFiles/pim_kl1.dir/machine.cc.o"
+  "CMakeFiles/pim_kl1.dir/machine.cc.o.d"
+  "CMakeFiles/pim_kl1.dir/module.cc.o"
+  "CMakeFiles/pim_kl1.dir/module.cc.o.d"
+  "CMakeFiles/pim_kl1.dir/parser.cc.o"
+  "CMakeFiles/pim_kl1.dir/parser.cc.o.d"
+  "CMakeFiles/pim_kl1.dir/symtab.cc.o"
+  "CMakeFiles/pim_kl1.dir/symtab.cc.o.d"
+  "CMakeFiles/pim_kl1.dir/term.cc.o"
+  "CMakeFiles/pim_kl1.dir/term.cc.o.d"
+  "libpim_kl1.a"
+  "libpim_kl1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_kl1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/free_list.cc" "src/mem/CMakeFiles/pim_mem.dir/free_list.cc.o" "gcc" "src/mem/CMakeFiles/pim_mem.dir/free_list.cc.o.d"
+  "/root/repo/src/mem/layout.cc" "src/mem/CMakeFiles/pim_mem.dir/layout.cc.o" "gcc" "src/mem/CMakeFiles/pim_mem.dir/layout.cc.o.d"
+  "/root/repo/src/mem/paged_store.cc" "src/mem/CMakeFiles/pim_mem.dir/paged_store.cc.o" "gcc" "src/mem/CMakeFiles/pim_mem.dir/paged_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_mem.dir/free_list.cc.o"
+  "CMakeFiles/pim_mem.dir/free_list.cc.o.d"
+  "CMakeFiles/pim_mem.dir/layout.cc.o"
+  "CMakeFiles/pim_mem.dir/layout.cc.o.d"
+  "CMakeFiles/pim_mem.dir/paged_store.cc.o"
+  "CMakeFiles/pim_mem.dir/paged_store.cc.o.d"
+  "libpim_mem.a"
+  "libpim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

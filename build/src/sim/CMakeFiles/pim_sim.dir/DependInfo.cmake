@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/pim_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/pim_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/system.cc.o.d"
+  "/root/repo/src/sim/trace_replay.cc" "src/sim/CMakeFiles/pim_sim.dir/trace_replay.cc.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/trace_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/pim_cache_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/pim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_sim.dir/report.cc.o"
+  "CMakeFiles/pim_sim.dir/report.cc.o.d"
+  "CMakeFiles/pim_sim.dir/system.cc.o"
+  "CMakeFiles/pim_sim.dir/system.cc.o.d"
+  "CMakeFiles/pim_sim.dir/trace_replay.cc.o"
+  "CMakeFiles/pim_sim.dir/trace_replay.cc.o.d"
+  "libpim_sim.a"
+  "libpim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

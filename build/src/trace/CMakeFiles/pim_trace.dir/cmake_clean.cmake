@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_trace.dir/ref_stats.cc.o"
+  "CMakeFiles/pim_trace.dir/ref_stats.cc.o.d"
+  "CMakeFiles/pim_trace.dir/synth.cc.o"
+  "CMakeFiles/pim_trace.dir/synth.cc.o.d"
+  "CMakeFiles/pim_trace.dir/trace_file.cc.o"
+  "CMakeFiles/pim_trace.dir/trace_file.cc.o.d"
+  "libpim_trace.a"
+  "libpim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_basic_test.dir/cache_basic_test.cc.o"
+  "CMakeFiles/cache_basic_test.dir/cache_basic_test.cc.o.d"
+  "cache_basic_test"
+  "cache_basic_test.pdb"
+  "cache_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

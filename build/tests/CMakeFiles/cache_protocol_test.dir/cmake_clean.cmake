@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_protocol_test.dir/cache_protocol_test.cc.o"
+  "CMakeFiles/cache_protocol_test.dir/cache_protocol_test.cc.o.d"
+  "cache_protocol_test"
+  "cache_protocol_test.pdb"
+  "cache_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

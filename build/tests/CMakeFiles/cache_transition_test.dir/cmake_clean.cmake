@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_transition_test.dir/cache_transition_test.cc.o"
+  "CMakeFiles/cache_transition_test.dir/cache_transition_test.cc.o.d"
+  "cache_transition_test"
+  "cache_transition_test.pdb"
+  "cache_transition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_transition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

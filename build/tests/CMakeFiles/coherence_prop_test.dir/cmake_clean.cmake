@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_prop_test.dir/coherence_prop_test.cc.o"
+  "CMakeFiles/coherence_prop_test.dir/coherence_prop_test.cc.o.d"
+  "coherence_prop_test"
+  "coherence_prop_test.pdb"
+  "coherence_prop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_prop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

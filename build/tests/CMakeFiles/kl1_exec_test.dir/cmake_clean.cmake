@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl1_exec_test.dir/kl1_exec_test.cc.o"
+  "CMakeFiles/kl1_exec_test.dir/kl1_exec_test.cc.o.d"
+  "kl1_exec_test"
+  "kl1_exec_test.pdb"
+  "kl1_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl1_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

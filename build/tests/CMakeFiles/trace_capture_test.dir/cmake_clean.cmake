@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_capture_test.dir/trace_capture_test.cc.o"
+  "CMakeFiles/trace_capture_test.dir/trace_capture_test.cc.o.d"
+  "trace_capture_test"
+  "trace_capture_test.pdb"
+  "trace_capture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_capture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
