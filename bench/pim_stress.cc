@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Seed-replay stress harness: randomized multi-PE traffic under an
+ * optional fault plan, with the coherence auditor and lock watchdog
+ * attached (docs/ROBUSTNESS.md).
+ *
+ * Exit codes: 0 = run finished with no fault detected; 2 = a fault was
+ * detected (auditor or watchdog); 1 = bad usage. With --expect-fault the
+ * meaning of 0 and 2 is inverted, so CI can assert both directions.
+ *
+ * On a detected fault the harness prints a one-line replay command that
+ * reproduces the failure deterministically, and (with --trace-out) dumps
+ * the completed-reference trace in PIMTRACE format.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/options.h"
+#include "common/sim_fault.h"
+#include "sim/stress.h"
+
+using namespace pim;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "pim_stress: randomized coherence/lock stress with seed replay\n"
+        "  --seed=N            RNG seed (default 1)\n"
+        "  --pes=N             number of PEs (default 4)\n"
+        "  --geometry=BxWxS    cache block words x ways x sets "
+        "(default 4x2x64)\n"
+        "  --steps=N           references to complete (default 20000)\n"
+        "  --span=N            shared region size in words (default 4096)\n"
+        "  --write-pct=N       write share of plain refs (default 30)\n"
+        "  --lock-pct=N        lock-protocol share (default 10)\n"
+        "  --opt-pct=N         DW/ER/RP producer-consumer share "
+        "(default 15)\n"
+        "  --plan=SPEC         fault plan, e.g. "
+        "'corrupt_word:p=0.001,lost_ul:after=50'\n"
+        "  --starvation-bound=N  watchdog starvation bound "
+        "(default 100000)\n"
+        "  --livelock-retries=N  watchdog livelock bound (default 1000)\n"
+        "  --trace-out=PATH    dump completed refs on failure (PIMTRACE)\n"
+        "  --no-audit          detach the coherence auditor\n"
+        "  --expect-fault      exit 0 iff a fault was detected\n"
+        "  --replay            marker flag printed in replay lines; a\n"
+        "                      stress run is a pure function of its flags\n");
+}
+
+const char* const kKnownFlags[] = {
+    "seed",       "pes",        "geometry",  "steps",
+    "span",       "write-pct",  "lock-pct",  "opt-pct",
+    "plan",       "trace-out",  "no-audit",  "expect-fault",
+    "replay",     "help",       "starvation-bound", "livelock-retries",
+};
+
+/**
+ * A mistyped flag in a replay line would silently run with a default
+ * and reproduce a *different* run, so unlike the shared bench parser
+ * this tool rejects unknown options.
+ */
+bool
+flagsAreKnown(int argc, const char* const* argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--", 2) != 0)
+            continue;
+        std::string name(argv[i] + 2);
+        name = name.substr(0, name.find('='));
+        bool known = false;
+        for (const char* flag : kKnownFlags)
+            known = known || name == flag;
+        if (!known) {
+            std::fprintf(stderr, "pim_stress: unknown option --%s\n",
+                         name.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Options opts = Options::parse(argc, argv);
+    if (opts.getBool("help")) {
+        usage();
+        return 0;
+    }
+    if (!flagsAreKnown(argc, argv)) {
+        usage();
+        return 1;
+    }
+
+    StressConfig config;
+    StressResult result;
+    try {
+        config.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
+        config.numPes =
+            static_cast<std::uint32_t>(opts.getInt("pes", 4));
+        config.setGeometry(opts.getString("geometry", "4x2x64"));
+        config.steps =
+            static_cast<std::uint64_t>(opts.getInt("steps", 20000));
+        config.spanWords =
+            static_cast<std::uint64_t>(opts.getInt("span", 4096));
+        config.writePct =
+            static_cast<std::uint32_t>(opts.getInt("write-pct", 30));
+        config.lockPct =
+            static_cast<std::uint32_t>(opts.getInt("lock-pct", 10));
+        config.optPct =
+            static_cast<std::uint32_t>(opts.getInt("opt-pct", 15));
+        config.planSpec = opts.getString("plan", "");
+        config.traceOut = opts.getString("trace-out", "");
+        config.audit = !opts.getBool("no-audit");
+        config.watchdog.starvationBound = static_cast<std::uint64_t>(
+            opts.getInt("starvation-bound", 100000));
+        config.watchdog.livelockRetries = static_cast<std::uint32_t>(
+            opts.getInt("livelock-retries", 1000));
+
+        result = runStress(config);
+    } catch (const SimFault& fault) {
+        std::fprintf(stderr, "pim_stress: %s\n", fault.what());
+        return 1;
+    }
+
+    if (result.failed) {
+        std::printf("FAULT (%s) after %llu completed references:\n  %s\n",
+                    simFaultKindName(result.kind),
+                    static_cast<unsigned long long>(result.completedRefs),
+                    result.message.c_str());
+        std::printf("replay: %s\n", result.replayLine.c_str());
+        if (result.traceRecords != 0) {
+            std::printf("trace: %llu records -> %s\n",
+                        static_cast<unsigned long long>(result.traceRecords),
+                        config.traceOut.c_str());
+        }
+    } else {
+        std::printf("OK: %llu references, %llu audit checks, "
+                    "fingerprint %016llx, makespan %llu cycles\n",
+                    static_cast<unsigned long long>(result.completedRefs),
+                    static_cast<unsigned long long>(result.auditChecks),
+                    static_cast<unsigned long long>(result.fingerprint),
+                    static_cast<unsigned long long>(result.makespan));
+    }
+    if (!result.injectorSummary.empty())
+        std::printf("faults injected: %s\n", result.injectorSummary.c_str());
+
+    const bool expect_fault = opts.getBool("expect-fault");
+    if (result.failed == expect_fault)
+        return 0;
+    return 2;
+}

@@ -26,6 +26,7 @@
 #include <sstream>
 
 #include "common/options.h"
+#include "common/sim_fault.h"
 #include "common/strutil.h"
 #include "common/table.h"
 #include "common/xassert.h"
@@ -57,7 +58,14 @@ main(int argc, char** argv)
     std::stringstream buffer;
     buffer << file.rdbuf();
 
-    Module module = compileProgram(parseProgram(buffer.str()));
+    Module module;
+    try {
+        module = compileProgram(
+            parseProgram(buffer.str(), opts.positional()[0]));
+    } catch (const SimFault& fault) {
+        std::fprintf(stderr, "kl1run: %s\n", fault.what());
+        return 1;
+    }
     if (opts.getBool("disasm")) {
         std::fputs(module.disassembleAll().c_str(), stdout);
         return 0;
@@ -103,7 +111,13 @@ main(int argc, char** argv)
             [&](const MemRef& ref) { writer->append(ref); });
     }
 
-    const RunStats stats = emu.run(query);
+    RunStats stats;
+    try {
+        stats = emu.run(query);
+    } catch (const SimFault& fault) {
+        std::fprintf(stderr, "kl1run: %s\n", fault.what());
+        return 1;
+    }
 
     for (const std::string& result : emu.results())
         std::printf("result: %s\n", result.c_str());

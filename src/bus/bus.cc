@@ -65,13 +65,36 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
         return result;
     }
 
+    // Injected fault: an unrequested invalidation races ahead of the
+    // fetch, silently nuking every remote copy (dirty data is lost).
+    if (injector_ != nullptr && injector_->fire(FaultSite::SpuriousInv)) {
+        for (const Port& port : ports_) {
+            if (port.pe != requester && port.cache != nullptr)
+                port.cache->snoopInvalidate(block_addr);
+        }
+    }
+
     // Snoop the caches; the first holder supplies the data (H response).
     for (const Port& port : ports_) {
         if (port.pe == requester || port.cache == nullptr)
             continue;
         if (!result.supplied) {
-            const BusSnooper::FetchReply reply =
+            // Injected fault: this cache's snoop reply is lost — it never
+            // sees the command, so its copy neither supplies nor degrades.
+            if (injector_ != nullptr &&
+                injector_->fire(FaultSite::DropSnoop)) {
+                continue;
+            }
+            BusSnooper::FetchReply reply =
                 port.cache->snoopFetch(block_addr, invalidate, data_out);
+            if (reply.present && injector_ != nullptr &&
+                injector_->fire(FaultSite::DupSnoop)) {
+                // Injected fault: the snoop is delivered twice; the second
+                // reply (now from a downgraded copy) wins, so a dirty bit
+                // can silently vanish.
+                reply = port.cache->snoopFetch(block_addr, invalidate,
+                                               data_out);
+            }
             if (reply.present) {
                 result.supplied = true;
                 result.supplierDirty = reply.dirty;
@@ -103,6 +126,9 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
                                     : BusPattern::MemFetch,
                        cost, area, requester);
     }
+    // Injected fault: one bit of the transferred block flips on the bus.
+    if (injector_ != nullptr && injector_->fire(FaultSite::CorruptWord))
+        injector_->flipBit(data_out, timing_.blockWords);
     freeAt_ = start + cost;
     result.completeAt = freeAt_;
     return result;

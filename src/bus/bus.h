@@ -21,6 +21,7 @@
 
 #include "bus/timing.h"
 #include "common/types.h"
+#include "fault/fault_injector.h"
 #include "mem/area.h"
 #include "mem/paged_store.h"
 
@@ -151,6 +152,15 @@ class Bus
     void setUnlockListener(UnlockListener* listener);
 
     /**
+     * Attach a fault injector (nullptr to detach). The bus consults it at
+     * its injection sites: DropSnoop, DupSnoop, CorruptWord, SpuriousInv.
+     */
+    void setFaultInjector(FaultInjector* injector)
+    {
+        injector_ = injector;
+    }
+
+    /**
      * Issue F (or FI when @p invalidate). Lock directories are checked
      * first; on LH the transaction aborts (lock-reject cycles). Otherwise
      * the block is supplied cache-to-cache or from memory into
@@ -205,6 +215,18 @@ class Bus
     /** Contract checker: forget all purge marks (used around GC). */
     void clearPurgedMarks();
 
+    /**
+     * True if the last dirty copy of @p block_addr was purged without
+     * copy-back (shared memory is stale by software contract). Used by
+     * the coherence auditor to excuse clean-copy/memory mismatches that
+     * the RP/ER contract deliberately creates.
+     */
+    bool
+    purgedDirtyMarked(Addr block_addr) const
+    {
+        return purgedDirty_.count(block_addr) != 0;
+    }
+
     /** Read a block from shared memory without bus involvement (init). */
     void readMemoryBlock(Addr block_addr, Word* data_out) const;
 
@@ -231,6 +253,7 @@ class Bus
     PagedStore& memory_;
     std::vector<Port> ports_;
     UnlockListener* unlockListener_ = nullptr;
+    FaultInjector* injector_ = nullptr;
     Cycles freeAt_ = 0;
     BusStats stats_;
     std::unordered_set<Addr> purgedDirty_;

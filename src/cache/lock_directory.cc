@@ -52,7 +52,19 @@ LockDirectory::release(Addr word_addr)
 {
     for (Entry& slot : slots_) {
         if (slot.state != LockState::EMP && slot.addr == word_addr) {
-            const bool had_waiter = slot.state == LockState::LWAIT;
+            bool had_waiter = slot.state == LockState::LWAIT;
+            if (had_waiter && injector_ != nullptr) {
+                // Injected fault: the entry never leaves LWAIT — a ghost
+                // stays behind that answers LH forever, while the UL
+                // still goes out and wakes the (doomed) waiters.
+                if (injector_->fire(FaultSite::StuckLwait))
+                    ghosts_.push_back(word_addr);
+                // Injected fault: the LWAIT state is misread as LCK, so
+                // the controller skips the UL broadcast and every parked
+                // PE sleeps forever.
+                if (injector_->fire(FaultSite::LostUnlock))
+                    had_waiter = false;
+            }
             slot.state = LockState::EMP;
             slot.addr = kNoAddr;
             return had_waiter;
@@ -85,7 +97,23 @@ LockDirectory::snoopLockCheck(Addr block_addr, std::uint32_t block_words)
             hit = true;
         }
     }
+    // Ghost entries from injected StuckLwait faults answer LH forever.
+    for (Addr ghost : ghosts_) {
+        if (ghost >= block_addr && ghost < block_addr + block_words)
+            hit = true;
+    }
     return hit;
+}
+
+std::vector<std::pair<Addr, LockState>>
+LockDirectory::entries() const
+{
+    std::vector<std::pair<Addr, LockState>> out;
+    for (const Entry& slot : slots_) {
+        if (slot.state != LockState::EMP)
+            out.emplace_back(slot.addr, slot.state);
+    }
+    return out;
 }
 
 } // namespace pim

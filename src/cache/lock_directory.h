@@ -14,11 +14,13 @@
 #define PIMCACHE_CACHE_LOCK_DIRECTORY_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "bus/bus.h"
 #include "cache/state.h"
 #include "common/types.h"
+#include "fault/fault_injector.h"
 
 namespace pim {
 
@@ -59,6 +61,30 @@ class LockDirectory : public LockSnooper
     /** Entries supported. */
     std::uint32_t capacity() const { return entries_; }
 
+    /** All occupied entries as (word address, state), for diagnostics. */
+    std::vector<std::pair<Addr, LockState>> entries() const;
+
+    /**
+     * Attach a fault injector (nullptr to detach). Sites: LostUnlock (a
+     * release with waiters returns "no UL needed", so parked PEs never
+     * wake) and StuckLwait (a released LWAIT entry leaves a ghost that
+     * answers LH forever).
+     */
+    void
+    setFaultInjector(FaultInjector* injector)
+    {
+        injector_ = injector;
+    }
+
+    /** Ghost LWAIT words left behind by injected StuckLwait faults. */
+    std::uint32_t ghostCount() const
+    {
+        return static_cast<std::uint32_t>(ghosts_.size());
+    }
+
+    /** The ghost words themselves (diagnostics). */
+    const std::vector<Addr>& ghostWords() const { return ghosts_; }
+
     // LockSnooper interface -----------------------------------------------
     bool snoopLockCheck(Addr block_addr,
                         std::uint32_t block_words) override;
@@ -72,6 +98,8 @@ class LockDirectory : public LockSnooper
     PeId owner_;
     std::uint32_t entries_;
     std::vector<Entry> slots_;
+    FaultInjector* injector_ = nullptr;
+    std::vector<Addr> ghosts_; ///< Stuck-LWAIT words (injected faults).
 };
 
 } // namespace pim

@@ -122,6 +122,11 @@ PimCache::fetchBlock(Addr block_base, bool invalidate, bool with_lock,
     outcome.supplierDirty = result.supplierDirty;
     outcome.doneAt = result.completeAt;
 
+    // Injected fault: one bit flips while the fill buffer drains into the
+    // data array.
+    if (injector_ != nullptr && injector_->fire(FaultSite::BitFlipFill))
+        injector_->flipBit(buffer, config_.geometry.blockWords);
+
     if (install) {
         if (victim->state != CacheState::INV) {
             stats_.evictions += 1;
@@ -196,6 +201,14 @@ PimCache::doRead(const MemRef& ref, Cycles now)
 {
     AccessResult result;
     const Addr base = blockBaseOf(ref.addr);
+    // Injected fault: the tag match is silently dropped — the copy (dirty
+    // or not) vanishes without copy-back and the read refetches.
+    if (injector_ != nullptr && injector_->fire(FaultSite::ForcedMiss)) {
+        if (Block* block = findBlock(base)) {
+            block->state = CacheState::INV;
+            block->base = kNoAddr;
+        }
+    }
     if (Block* block = findBlock(base)) {
         touchLru(*block);
         result.data = blockData(*block)[ref.addr - base];

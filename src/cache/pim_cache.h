@@ -70,6 +70,18 @@ class PimCache : public BusSnooper
     /** Read a word from the cache if present, else from shared memory. */
     Word loadValue(Addr addr) const;
 
+    /**
+     * Attach a fault injector (nullptr to detach). The cache consults it
+     * at BitFlipFill and ForcedMiss; the lock directory at LostUnlock and
+     * StuckLwait.
+     */
+    void
+    setFaultInjector(FaultInjector* injector)
+    {
+        injector_ = injector;
+        locks_.setFaultInjector(injector);
+    }
+
     LockDirectory& lockDirectory() { return locks_; }
     const LockDirectory& lockDirectory() const { return locks_; }
     CacheStats& stats() { return stats_; }
@@ -139,6 +151,7 @@ class PimCache : public BusSnooper
     PeId pe_;
     CacheConfig config_;
     Bus& bus_;
+    FaultInjector* injector_ = nullptr;
     LockDirectory locks_;
     CacheStats stats_;
     std::uint64_t lruTick_ = 0;

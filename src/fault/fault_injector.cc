@@ -1,0 +1,83 @@
+#include "fault/fault_injector.h"
+
+#include <sstream>
+
+#include "common/sim_fault.h"
+
+namespace pim {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed)
+    : plan_(plan), seed_(seed), rng_(seed ^ 0xfa17ed5eedULL)
+{
+    if (plan_.rules.size() > 64) {
+        throw PIM_SIM_FAULT(SimFaultKind::Config, "fault plan has ",
+                      plan_.rules.size(), " rules; at most 64 supported");
+    }
+}
+
+bool
+FaultInjector::fire(FaultSite site)
+{
+    FaultSiteStats& stats = stats_[static_cast<int>(site)];
+    stats.opportunities += 1;
+    bool fired = false;
+    for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+        const FaultRule& rule = plan_.rules[i];
+        if (rule.site != site)
+            continue;
+        if (stats.opportunities <= rule.after)
+            continue;
+        if (ruleFires_[i] >= rule.maxFires)
+            continue;
+        // Pure after-rules fire unconditionally once armed; p-rules roll
+        // the shared deterministic RNG.
+        const bool hit =
+            rule.probability > 0.0 ? rng_.uniform() < rule.probability
+                                   : true;
+        if (hit) {
+            ruleFires_[i] += 1;
+            fired = true;
+        }
+    }
+    if (fired)
+        stats.fires += 1;
+    return fired;
+}
+
+void
+FaultInjector::flipBit(Word* words, std::uint32_t count)
+{
+    const std::uint64_t word = rng_.below(count);
+    const std::uint64_t bit = rng_.below(64);
+    words[word] ^= Word{1} << bit;
+}
+
+std::uint64_t
+FaultInjector::totalFires() const
+{
+    std::uint64_t total = 0;
+    for (const FaultSiteStats& s : stats_)
+        total += s.fires;
+    return total;
+}
+
+std::string
+FaultInjector::summary() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (int i = 0; i < kNumFaultSites; ++i) {
+        if (stats_[i].opportunities == 0)
+            continue;
+        if (!first)
+            os << " ";
+        first = false;
+        os << faultSiteName(static_cast<FaultSite>(i)) << "="
+           << stats_[i].fires << "/" << stats_[i].opportunities;
+    }
+    if (first)
+        os << "(no injection opportunities)";
+    return os.str();
+}
+
+} // namespace pim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Seeded, policy-driven fault injector.
+ *
+ * One injector is shared by the bus, every cache / lock directory and the
+ * system; each component asks `fire(site)` at its injection points. Every
+ * decision comes from one deterministic RNG consulted in simulation
+ * order, so a (seed, plan) pair replays the exact same fault sequence —
+ * the foundation of the pim_stress seed-replay workflow.
+ */
+
+#ifndef PIMCACHE_FAULT_FAULT_INJECTOR_H_
+#define PIMCACHE_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "fault/fault_plan.h"
+
+namespace pim {
+
+/** Per-site injection accounting. */
+struct FaultSiteStats {
+    std::uint64_t opportunities = 0; ///< fire() calls for the site.
+    std::uint64_t fires = 0;         ///< Decisions that injected.
+};
+
+/** Decides, deterministically, where and when faults strike. */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan& plan, std::uint64_t seed);
+
+    /**
+     * One injection opportunity at @p site: counts it and decides.
+     * @return true if a fault must be injected now.
+     */
+    bool fire(FaultSite site);
+
+    /** Flip one random bit of one of @p words[0..count) (corruptions). */
+    void flipBit(Word* words, std::uint32_t count);
+
+    const FaultPlan& plan() const { return plan_; }
+    std::uint64_t seed() const { return seed_; }
+    const FaultSiteStats& stats(FaultSite site) const
+    {
+        return stats_[static_cast<int>(site)];
+    }
+
+    /** Total fires across all sites. */
+    std::uint64_t totalFires() const;
+
+    /** One-line per-site "site=fires/opportunities" summary. */
+    std::string summary() const;
+
+  private:
+    FaultPlan plan_;
+    std::uint64_t seed_;
+    Rng rng_;
+    FaultSiteStats stats_[kNumFaultSites];
+    std::uint64_t ruleFires_[64] = {}; ///< Fires per plan rule.
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_FAULT_FAULT_INJECTOR_H_

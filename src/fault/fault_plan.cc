@@ -1,0 +1,146 @@
+#include "fault/fault_plan.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/sim_fault.h"
+#include "common/strutil.h"
+
+namespace pim {
+
+namespace {
+
+const char* const kSiteNames[kNumFaultSites] = {
+    "drop_snoop",   "dup_snoop",   "corrupt_word",
+    "spurious_inv", "bit_flip",    "forced_miss",
+    "lost_ul",      "stuck_lwait", "spurious_wakeup",
+};
+
+bool
+siteFromName(const std::string& name, FaultSite* out)
+{
+    for (int i = 0; i < kNumFaultSites; ++i) {
+        if (name == kSiteNames[i]) {
+            *out = static_cast<FaultSite>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Format a probability compactly and round-trippably. */
+std::string
+formatProb(double p)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.17g", p);
+    return buffer;
+}
+
+} // namespace
+
+const char*
+faultSiteName(FaultSite site)
+{
+    const int index = static_cast<int>(site);
+    return index >= 0 && index < kNumFaultSites ? kSiteNames[index] : "?";
+}
+
+std::string
+FaultRule::toString() const
+{
+    std::ostringstream os;
+    os << faultSiteName(site);
+    if (probability > 0.0)
+        os << ":p=" << formatProb(probability);
+    if (after > 0)
+        os << ":after=" << after;
+    const std::uint64_t unlimited =
+        std::numeric_limits<std::uint64_t>::max();
+    const std::uint64_t implied = probability > 0.0 ? unlimited : 1;
+    if (maxFires != implied)
+        os << ":n=" << maxFires;
+    return os.str();
+}
+
+FaultPlan
+FaultPlan::parse(const std::string& spec)
+{
+    FaultPlan plan;
+    for (const std::string& piece : splitString(spec, ',')) {
+        const std::string entry = trimString(piece);
+        if (entry.empty())
+            continue;
+        const std::vector<std::string> parts = splitString(entry, ':');
+        FaultRule rule;
+        if (!siteFromName(trimString(parts[0]), &rule.site)) {
+            throw PIM_SIM_FAULT(SimFaultKind::Config, "unknown fault site '",
+                          trimString(parts[0]), "' in plan '", spec, "'");
+        }
+        bool have_max_fires = false;
+        for (std::size_t i = 1; i < parts.size(); ++i) {
+            const std::string param = trimString(parts[i]);
+            const std::size_t eq = param.find('=');
+            if (eq == std::string::npos) {
+                throw PIM_SIM_FAULT(SimFaultKind::Config, "fault parameter '",
+                              param, "' is not key=value in plan '", spec,
+                              "'");
+            }
+            const std::string key = trimString(param.substr(0, eq));
+            const std::string value = trimString(param.substr(eq + 1));
+            char* end = nullptr;
+            if (key == "p") {
+                rule.probability = std::strtod(value.c_str(), &end);
+                if (end == value.c_str() || *end != '\0' ||
+                    rule.probability < 0.0 || rule.probability > 1.0) {
+                    throw PIM_SIM_FAULT(SimFaultKind::Config,
+                                  "fault probability '", value,
+                                  "' is not in [0, 1] in plan '", spec, "'");
+                }
+            } else if (key == "after") {
+                rule.after = std::strtoull(value.c_str(), &end, 10);
+                if (end == value.c_str() || *end != '\0') {
+                    throw PIM_SIM_FAULT(SimFaultKind::Config, "fault count '",
+                                  value, "' is not an integer in plan '",
+                                  spec, "'");
+                }
+            } else if (key == "n") {
+                rule.maxFires = std::strtoull(value.c_str(), &end, 10);
+                if (end == value.c_str() || *end != '\0') {
+                    throw PIM_SIM_FAULT(SimFaultKind::Config, "fault fire limit '",
+                                  value, "' is not an integer in plan '",
+                                  spec, "'");
+                }
+                have_max_fires = true;
+            } else {
+                throw PIM_SIM_FAULT(SimFaultKind::Config,
+                              "unknown fault parameter '", key,
+                              "' in plan '", spec, "'");
+            }
+        }
+        if (rule.probability == 0.0 && rule.after == 0 && !have_max_fires) {
+            throw PIM_SIM_FAULT(SimFaultKind::Config, "fault rule '", entry,
+                          "' needs p= or after=");
+        }
+        // A pure after-rule is a one-shot unless n= says otherwise.
+        if (rule.probability == 0.0 && !have_max_fires)
+            rule.maxFires = 1;
+        plan.rules.push_back(rule);
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::toString() const
+{
+    std::string out;
+    for (const FaultRule& rule : rules) {
+        if (!out.empty())
+            out += ',';
+        out += rule.toString();
+    }
+    return out;
+}
+
+} // namespace pim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Seeded fault campaigns: the FaultPlan spec language.
+ *
+ * A plan is a comma-separated list of rules, each naming an injection
+ * site with optional parameters joined by ':':
+ *
+ *     drop_snoop:p=0.001,corrupt_word:p=1e-4,spurious_inv:after=5000
+ *
+ * Parameters per rule:
+ *   p=<prob>   Bernoulli firing probability per opportunity.
+ *   after=<n>  The rule is armed only after the site's n-th opportunity.
+ *   n=<k>      Maximum number of fires (default: 1 for pure after-rules,
+ *              unlimited for p-rules).
+ *
+ * The taxonomy (see docs/ROBUSTNESS.md) covers the bus (dropped /
+ * duplicated snoop replies, corrupted transfer words, spurious
+ * invalidations), the cache (bit flips on fill, silently dropped blocks),
+ * the lock directory (lost UL broadcasts, stuck LWAIT ghosts) and the
+ * system (spurious wakeups of parked PEs).
+ */
+
+#ifndef PIMCACHE_FAULT_FAULT_PLAN_H_
+#define PIMCACHE_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pim {
+
+/** Where in the memory system a fault can be injected. */
+enum class FaultSite : std::uint8_t {
+    DropSnoop = 0,      ///< Bus: a cache's snoop reply is lost.
+    DupSnoop = 1,       ///< Bus: a snoop is delivered twice to one cache.
+    CorruptWord = 2,    ///< Bus: one bit of a transferred word flips.
+    SpuriousInv = 3,    ///< Bus: unrequested invalidation of the block.
+    BitFlipFill = 4,    ///< Cache: one bit flips while filling a block.
+    ForcedMiss = 5,     ///< Cache: a valid copy is silently dropped.
+    LostUnlock = 6,     ///< Lock dir: UL broadcast lost despite LWAIT.
+    StuckLwait = 7,     ///< Lock dir: entry stays LWAIT forever (ghost).
+    SpuriousWakeup = 8, ///< System: parked PEs wake without a real UL.
+};
+
+/** Number of FaultSite enumerators. */
+inline constexpr int kNumFaultSites = 9;
+
+/** Spec-language name of @p site (also used in FaultPlan::toString). */
+const char* faultSiteName(FaultSite site);
+
+/** One parsed rule of a fault plan. */
+struct FaultRule {
+    FaultSite site = FaultSite::DropSnoop;
+    double probability = 0.0; ///< 0 means "pure after-rule".
+    std::uint64_t after = 0;  ///< Armed after this many opportunities.
+    std::uint64_t maxFires = std::numeric_limits<std::uint64_t>::max();
+
+    std::string toString() const;
+};
+
+/** A parsed fault campaign: an ordered list of rules. */
+struct FaultPlan {
+    std::vector<FaultRule> rules;
+
+    bool empty() const { return rules.empty(); }
+
+    /**
+     * Parse a spec string (empty string -> empty plan).
+     * @throws SimFault (Config) on unknown sites or malformed params.
+     */
+    static FaultPlan parse(const std::string& spec);
+
+    /** Canonical spec string; parse(toString()) round-trips. */
+    std::string toString() const;
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_FAULT_FAULT_PLAN_H_

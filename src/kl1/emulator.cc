@@ -27,7 +27,12 @@ systemFor(const Kl1Config& config, const Layout& layout)
     sys.cache = config.cache;
     sys.timing = config.timing;
     sys.policy = config.policy;
-    sys.memoryWords = layout.totalWords();
+    // Cover every layout area, rounded up to whole cache blocks (the
+    // max() guards the division; validate() rejects blockWords == 0).
+    const std::uint64_t block =
+        std::max<std::uint64_t>(1, sys.cache.geometry.blockWords);
+    sys.memoryWords = (layout.totalWords() + block - 1) / block * block;
+    sys.validate(layout.totalWords());
     return sys;
 }
 

@@ -2,7 +2,7 @@
 
 #include <cctype>
 
-#include "common/xassert.h"
+#include "common/sim_fault.h"
 
 namespace pim::kl1 {
 
@@ -22,15 +22,24 @@ const char* const kOperators[] = {
 } // namespace
 
 std::vector<Token>
-tokenize(const std::string& source)
+tokenize(const std::string& source, const std::string& filename)
 {
     std::vector<Token> out;
     std::size_t i = 0;
     int line = 1;
+    std::size_t line_start = 0;
     const std::size_t n = source.size();
 
     auto peek = [&](std::size_t k) -> char {
         return i + k < n ? source[i + k] : '\0';
+    };
+    auto column = [&]() -> int {
+        return static_cast<int>(i - line_start) + 1;
+    };
+    auto fail = [&](const std::string& what) {
+        const std::string where = filename.empty() ? "input" : filename;
+        throw PIM_SIM_FAULT(SimFaultKind::Parse, where, ":", line, ":",
+                            column(), ": ", what);
     };
 
     while (i < n) {
@@ -38,6 +47,7 @@ tokenize(const std::string& source)
         if (c == '\n') {
             ++line;
             ++i;
+            line_start = i;
             continue;
         }
         if (std::isspace(static_cast<unsigned char>(c))) {
@@ -52,66 +62,77 @@ tokenize(const std::string& source)
         if (c == '/' && peek(1) == '*') { // block comment
             i += 2;
             while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
-                if (source[i] == '\n')
+                if (source[i] == '\n') {
                     ++line;
+                    line_start = i + 1;
+                }
                 ++i;
             }
             if (i + 1 >= n)
-                PIM_FATAL("unterminated block comment at line ", line);
+                fail("unterminated block comment");
             i += 2;
             continue;
         }
         if (std::isdigit(static_cast<unsigned char>(c))) {
+            Token tok;
+            tok.line = line;
+            tok.column = column();
             std::int64_t value = 0;
             while (i < n &&
                    std::isdigit(static_cast<unsigned char>(source[i]))) {
-                value = value * 10 + (source[i] - '0');
+                const int digit = source[i] - '0';
+                if (value > (INT64_MAX - digit) / 10)
+                    fail("integer literal too large");
+                value = value * 10 + digit;
                 ++i;
             }
-            Token tok;
             tok.kind = TokKind::Int;
             tok.value = value;
-            tok.line = line;
             out.push_back(tok);
             continue;
         }
         if (std::islower(static_cast<unsigned char>(c))) {
+            Token tok;
+            tok.line = line;
+            tok.column = column();
             std::string text;
             while (i < n && isIdentChar(source[i]))
                 text.push_back(source[i++]);
-            Token tok;
             tok.kind = TokKind::Atom;
             tok.text = std::move(text);
-            tok.line = line;
             out.push_back(tok);
             continue;
         }
         if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+            Token tok;
+            tok.line = line;
+            tok.column = column();
             std::string text;
             while (i < n && isIdentChar(source[i]))
                 text.push_back(source[i++]);
-            Token tok;
             tok.kind = TokKind::Var;
             tok.text = std::move(text);
-            tok.line = line;
             out.push_back(tok);
             continue;
         }
         if (c == '\'') { // quoted atom
+            Token tok;
+            tok.line = line;
+            tok.column = column();
             ++i;
             std::string text;
             while (i < n && source[i] != '\'') {
-                if (source[i] == '\n')
+                if (source[i] == '\n') {
                     ++line;
+                    line_start = i + 1;
+                }
                 text.push_back(source[i++]);
             }
             if (i >= n)
-                PIM_FATAL("unterminated quoted atom at line ", line);
+                fail("unterminated quoted atom");
             ++i;
-            Token tok;
             tok.kind = TokKind::Atom;
             tok.text = std::move(text);
-            tok.line = line;
             out.push_back(tok);
             continue;
         }
@@ -124,6 +145,7 @@ tokenize(const std::string& source)
                 tok.kind = TokKind::Punct;
                 tok.text = oper;
                 tok.line = line;
+                tok.column = column();
                 out.push_back(tok);
                 i += len;
                 matched = true;
@@ -139,17 +161,18 @@ tokenize(const std::string& source)
             tok.kind = TokKind::Punct;
             tok.text = std::string(1, c);
             tok.line = line;
+            tok.column = column();
             out.push_back(tok);
             ++i;
             continue;
         }
-        PIM_FATAL("illegal character '", std::string(1, c), "' at line ",
-                  line);
+        fail("illegal character '" + std::string(1, c) + "'");
     }
 
     Token end;
     end.kind = TokKind::End;
     end.line = line;
+    end.column = column();
     out.push_back(end);
     return out;
 }

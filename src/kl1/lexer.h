@@ -27,6 +27,7 @@ struct Token {
     std::string text;
     std::int64_t value = 0;
     int line = 1;
+    int column = 1;
 
     bool
     is(TokKind k, const char* t = nullptr) const
@@ -39,9 +40,13 @@ struct Token {
  * Tokenize FGHC source. Understands %-to-end-of-line and C-style block
  * comments, multi-character operators (:-, =<, >=, ==, =:=, =\=, :=,
  * \=, //), and negative integer literals are left to the parser.
- * Fatal on illegal characters (with line numbers).
+ *
+ * @param filename Used in error messages ("<filename>:line:column").
+ * @throws SimFault (Parse) on illegal characters, unterminated comments
+ * or unterminated quoted atoms — never terminates the process.
  */
-std::vector<Token> tokenize(const std::string& source);
+std::vector<Token> tokenize(const std::string& source,
+                            const std::string& filename = "");
 
 } // namespace pim::kl1
 

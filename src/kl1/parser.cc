@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "common/xassert.h"
+#include "common/sim_fault.h"
 #include "kl1/lexer.h"
 
 namespace pim::kl1 {
@@ -13,8 +13,8 @@ namespace {
 class Parser
 {
   public:
-    explicit Parser(std::vector<Token> tokens)
-        : tokens_(std::move(tokens))
+    Parser(std::vector<Token> tokens, std::string filename)
+        : tokens_(std::move(tokens)), filename_(std::move(filename))
     {
     }
 
@@ -56,10 +56,13 @@ class Parser
     [[noreturn]] void
     fail(const std::string& what) const
     {
-        PIM_FATAL("FGHC syntax error at line ", peek().line, ": ", what,
-                  " (got '",
-                  peek().kind == TokKind::End ? "<eof>" : peek().text,
-                  "')");
+        const std::string where = filename_.empty() ? "input" : filename_;
+        throw PIM_SIM_FAULT(SimFaultKind::Parse, where, ":", peek().line,
+                            ":", peek().column, ": FGHC syntax error: ",
+                            what, " (got '",
+                            peek().kind == TokKind::End ? "<eof>"
+                                                        : peek().text,
+                            "')");
     }
 
     void
@@ -253,22 +256,23 @@ class Parser
     }
 
     std::vector<Token> tokens_;
+    std::string filename_;
     std::size_t pos_ = 0;
 };
 
 } // namespace
 
 Program
-parseProgram(const std::string& source)
+parseProgram(const std::string& source, const std::string& filename)
 {
-    Parser parser(tokenize(source));
+    Parser parser(tokenize(source, filename), filename);
     return parser.parseProgram();
 }
 
 PTerm
-parseGoalTerm(const std::string& source)
+parseGoalTerm(const std::string& source, const std::string& filename)
 {
-    Parser parser(tokenize(source));
+    Parser parser(tokenize(source, filename), filename);
     return parser.parseSingleTerm();
 }
 

@@ -22,11 +22,21 @@
 
 namespace pim::kl1 {
 
-/** Parse FGHC source text into a Program. Fatal on syntax errors. */
-Program parseProgram(const std::string& source);
+/**
+ * Parse FGHC source text into a Program.
+ * @param filename Used in error messages ("<filename>:line:column").
+ * @throws SimFault (Parse) on malformed input — never terminates the
+ * process, so drivers can report the error and keep going.
+ */
+Program parseProgram(const std::string& source,
+                     const std::string& filename = "");
 
-/** Parse one goal term, e.g. a query like "main(10, R)". */
-PTerm parseGoalTerm(const std::string& source);
+/**
+ * Parse one goal term, e.g. a query like "main(10, R)".
+ * @throws SimFault (Parse) on malformed input.
+ */
+PTerm parseGoalTerm(const std::string& source,
+                    const std::string& filename = "");
 
 } // namespace pim::kl1
 

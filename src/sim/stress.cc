@@ -1,0 +1,307 @@
+#include "sim/stress.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/strutil.h"
+#include "fault/fault_injector.h"
+#include "sim/system.h"
+#include "trace/trace_file.h"
+#include "verify/coherence_auditor.h"
+
+namespace pim {
+
+namespace {
+
+/** Fingerprint mixer (splitmix64 finalizer over a running hash). */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    std::uint64_t z = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** One PE's driver state. */
+struct PeState {
+    bool hasRetry = false;
+    MemOp retryOp = MemOp::R;
+    Addr retryAddr = 0;
+    Word retryData = 0;
+    std::deque<Addr> heldLocks; ///< Acquired lock words, oldest first.
+};
+
+} // namespace
+
+std::string
+StressConfig::geometryString() const
+{
+    std::ostringstream out;
+    out << blockWords << "x" << ways << "x" << sets;
+    return out.str();
+}
+
+void
+StressConfig::setGeometry(const std::string& spec)
+{
+    const std::vector<std::string> parts = splitString(spec, 'x');
+    std::uint64_t values[3];
+    if (parts.size() == 3) {
+        bool ok = true;
+        for (int i = 0; i < 3; ++i) {
+            try {
+                values[i] = std::stoull(parts[i]);
+            } catch (const std::exception&) {
+                ok = false;
+            }
+        }
+        if (ok) {
+            blockWords = static_cast<std::uint32_t>(values[0]);
+            ways = static_cast<std::uint32_t>(values[1]);
+            sets = static_cast<std::uint32_t>(values[2]);
+            return;
+        }
+    }
+    throw PIM_SIM_FAULT(SimFaultKind::Config, "bad geometry '", spec,
+                        "'; expected BLOCKxWAYSxSETS, e.g. 4x2x64");
+}
+
+std::string
+StressConfig::replayLine() const
+{
+    std::ostringstream out;
+    out << "pim_stress --replay"
+        << " --seed=" << seed
+        << " --pes=" << numPes
+        << " --geometry=" << geometryString()
+        << " --steps=" << steps
+        << " --span=" << spanWords
+        << " --write-pct=" << writePct
+        << " --lock-pct=" << lockPct
+        << " --opt-pct=" << optPct
+        << " --starvation-bound=" << watchdog.starvationBound
+        << " --livelock-retries=" << watchdog.livelockRetries;
+    if (!planSpec.empty())
+        out << " --plan=" << planSpec;
+    if (!audit)
+        out << " --no-audit";
+    return out.str();
+}
+
+StressResult
+runStress(const StressConfig& config)
+{
+    StressResult result;
+
+    // Address map (word addresses): [0, span) shared read/write region;
+    // [lockBase, lockBase+lockWords) contended lock words; [recBase, ...)
+    // bump-allocated single-use records for the DW -> ER/RP flow.
+    const std::uint64_t block = config.blockWords;
+    const Addr span =
+        std::max<Addr>(block, config.spanWords / block * block);
+    const Addr lock_base = span;
+    const std::uint32_t lock_words =
+        std::max<std::uint32_t>(1, config.numPes / 2);
+    const Addr rec_base = (lock_base + lock_words + block - 1) / block * block;
+    const std::uint64_t max_records = config.steps + 1;
+
+    SystemConfig sys_config;
+    sys_config.numPes = config.numPes;
+    sys_config.cache.geometry.blockWords = config.blockWords;
+    sys_config.cache.geometry.ways = config.ways;
+    sys_config.cache.geometry.sets = config.sets;
+    sys_config.memoryWords =
+        (rec_base + (max_records + 1) * block + block - 1) / block * block;
+    sys_config.validate();
+
+    const FaultPlan plan = FaultPlan::parse(config.planSpec);
+    FaultInjector injector(plan, config.seed);
+
+    System system(sys_config);
+    system.setFaultInjector(plan.empty() ? nullptr : &injector);
+
+    CoherenceAuditor auditor(system);
+    if (config.audit)
+        system.addAccessObserver(&auditor);
+    LockWatchdog watchdog(system, config.watchdog);
+    system.addAccessObserver(&watchdog);
+
+    std::vector<MemRef> trace;
+    trace.reserve(std::min<std::uint64_t>(config.steps, 1u << 20));
+    system.setRefObserver([&trace](const MemRef& ref) {
+        trace.push_back(ref);
+    });
+
+    Rng rng(config.seed);
+    std::vector<PeState> pes(config.numPes);
+    std::deque<Addr> records; ///< Produced, not yet consumed record blocks.
+    Addr next_record = rec_base;
+
+    try {
+        // Main phase: complete config.steps references.
+        while (result.completedRefs < config.steps) {
+            const PeId pe = system.earliestRunnable();
+            if (pe == kNoPe)
+                watchdog.reportStall();
+            PeState& state = pes[pe];
+
+            MemOp op;
+            Addr addr;
+            Word wdata = 0;
+            if (state.hasRetry) {
+                op = state.retryOp;
+                addr = state.retryAddr;
+                wdata = state.retryData;
+            } else {
+                const std::uint64_t roll = rng.below(100);
+                if (roll < config.lockPct) {
+                    // Acquirable words: lock words this PE does not hold.
+                    std::vector<Addr> candidates;
+                    if (state.heldLocks.size() <
+                        system.config().cache.lockEntries) {
+                        for (std::uint32_t w = 0; w < lock_words; ++w) {
+                            const Addr word = lock_base + w;
+                            if (std::find(state.heldLocks.begin(),
+                                          state.heldLocks.end(),
+                                          word) == state.heldLocks.end()) {
+                                candidates.push_back(word);
+                            }
+                        }
+                    }
+                    if (candidates.empty() ||
+                        (!state.heldLocks.empty() && rng.chance(1, 2))) {
+                        addr = state.heldLocks.front();
+                        if (rng.chance(1, 2)) {
+                            op = MemOp::UW;
+                            wdata = rng.next();
+                        } else {
+                            op = MemOp::U;
+                        }
+                    } else {
+                        op = MemOp::LR;
+                        addr = candidates[rng.below(candidates.size())];
+                    }
+                } else if (roll < config.lockPct + config.optPct) {
+                    if (!records.empty() && rng.chance(1, 2)) {
+                        addr = records.front();
+                        records.pop_front();
+                        // ER of a non-last word read-invalidates the
+                        // producer; RP reads then purges.
+                        op = rng.chance(1, 2) ? MemOp::ER : MemOp::RP;
+                    } else {
+                        op = MemOp::DW;
+                        addr = next_record;
+                        next_record += block;
+                        wdata = rng.next();
+                    }
+                } else {
+                    addr = rng.below(span);
+                    if (rng.chance(config.writePct, 100)) {
+                        op = MemOp::W;
+                        wdata = rng.next();
+                    } else {
+                        op = MemOp::R;
+                    }
+                }
+            }
+
+            const System::Access access =
+                system.access(pe, op, addr, Area::Heap, wdata);
+            if (access.lockWait) {
+                state.hasRetry = true;
+                state.retryOp = op;
+                state.retryAddr = addr;
+                state.retryData = wdata;
+                continue;
+            }
+            state.hasRetry = false;
+            if (op == MemOp::LR)
+                state.heldLocks.push_back(addr);
+            else if (op == MemOp::UW || op == MemOp::U)
+                state.heldLocks.pop_front();
+            if (op == MemOp::DW)
+                records.push_back(addr);
+            result.completedRefs += 1;
+            result.fingerprint = mix(result.fingerprint,
+                                     (static_cast<std::uint64_t>(pe) << 8) |
+                                         static_cast<std::uint64_t>(op));
+            result.fingerprint = mix(result.fingerprint, addr);
+            result.fingerprint = mix(result.fingerprint, access.data);
+        }
+
+        // Drain phase: finish pending retries and release held locks so
+        // every parked PE is woken before teardown.
+        for (;;) {
+            bool anything_left = false;
+            PeId pe = kNoPe;
+            for (PeId p = 0; p < system.numPes(); ++p) {
+                if (system.parked(p)) {
+                    anything_left = true;
+                    continue;
+                }
+                if (!pes[p].hasRetry && pes[p].heldLocks.empty())
+                    continue;
+                anything_left = true;
+                if (pe == kNoPe || system.clock(p) < system.clock(pe))
+                    pe = p;
+            }
+            if (!anything_left)
+                break;
+            if (pe == kNoPe)
+                watchdog.reportStall();
+            PeState& state = pes[pe];
+            MemOp op;
+            Addr addr;
+            Word wdata = 0;
+            if (state.hasRetry) {
+                op = state.retryOp;
+                addr = state.retryAddr;
+                wdata = state.retryData;
+            } else {
+                op = MemOp::U;
+                addr = state.heldLocks.front();
+            }
+            const System::Access access =
+                system.access(pe, op, addr, Area::Heap, wdata);
+            if (access.lockWait) {
+                state.hasRetry = true;
+                state.retryOp = op;
+                state.retryAddr = addr;
+                state.retryData = wdata;
+                continue;
+            }
+            state.hasRetry = false;
+            if (op == MemOp::LR)
+                state.heldLocks.push_back(addr);
+            else if (op == MemOp::UW || op == MemOp::U)
+                state.heldLocks.pop_front();
+            result.completedRefs += 1;
+        }
+
+        if (config.audit)
+            auditor.auditFull();
+    } catch (const SimFault& fault) {
+        result.failed = true;
+        result.kind = fault.kind();
+        result.message = fault.message();
+        result.replayLine = config.replayLine();
+        system.abandonParkedWaiters();
+        if (!config.traceOut.empty()) {
+            TraceWriter writer(config.traceOut, config.numPes);
+            for (const MemRef& ref : trace)
+                writer.append(ref);
+            writer.close();
+            result.traceRecords = writer.recordsWritten();
+        }
+    }
+
+    result.auditChecks = auditor.checksRun();
+    result.makespan = system.makespan();
+    result.injectorSummary = injector.summary();
+    return result;
+}
+
+} // namespace pim

@@ -1,12 +1,20 @@
 #include "sim/system.h"
 
 #include <algorithm>
+#include <exception>
 
+#include "common/sim_fault.h"
 #include "common/xassert.h"
 
 namespace pim {
 
 namespace {
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v >= 1 && (v & (v - 1)) == 0;
+}
 
 /** The bus moves whole cache blocks: its block size follows the cache. */
 SystemConfig
@@ -16,22 +24,91 @@ withSyncedTiming(SystemConfig config)
     return config;
 }
 
+/** validate() at construction, so a bad config never reaches the model. */
+SystemConfig
+validated(SystemConfig config)
+{
+    config.validate();
+    return config;
+}
+
 } // namespace
 
+void
+SystemConfig::validate() const
+{
+    if (numPes < 1)
+        throw PIM_SIM_FAULT(SimFaultKind::Config,
+                            "numPes must be >= 1 (got ", numPes, ")");
+    const CacheGeometry& geom = cache.geometry;
+    if (!isPowerOfTwo(geom.blockWords))
+        throw PIM_SIM_FAULT(SimFaultKind::Config,
+                            "cache blockWords must be a power of two (got ",
+                            geom.blockWords, ")");
+    if (geom.blockWords > 64)
+        throw PIM_SIM_FAULT(SimFaultKind::Config,
+                            "cache blockWords must be <= 64 (got ",
+                            geom.blockWords,
+                            "); the bus moves whole blocks");
+    if (!isPowerOfTwo(geom.sets))
+        throw PIM_SIM_FAULT(SimFaultKind::Config,
+                            "cache sets must be a power of two (got ",
+                            geom.sets, ")");
+    if (geom.ways < 1)
+        throw PIM_SIM_FAULT(SimFaultKind::Config, "cache ways must be >= 1");
+    if (cache.lockEntries < 1)
+        throw PIM_SIM_FAULT(SimFaultKind::Config,
+                            "lockEntries must be >= 1; the KL1 engine "
+                            "needs at least one busy-wait lock");
+    if (memoryWords == 0)
+        throw PIM_SIM_FAULT(SimFaultKind::Config, "memoryWords must be > 0");
+    if (memoryWords % geom.blockWords != 0)
+        throw PIM_SIM_FAULT(SimFaultKind::Config, "memoryWords (",
+                            memoryWords,
+                            ") must be a multiple of the cache block size (",
+                            geom.blockWords, " words)");
+}
+
+void
+SystemConfig::validate(std::uint64_t required_words) const
+{
+    validate();
+    if (memoryWords < required_words)
+        throw PIM_SIM_FAULT(SimFaultKind::Config, "memoryWords (",
+                            memoryWords, ") does not cover the ",
+                            required_words,
+                            " words required by the address-space layout");
+}
+
 System::System(const SystemConfig& config)
-    : config_(withSyncedTiming(config)),
+    : config_(validated(withSyncedTiming(config))),
       memory_(config.memoryWords),
       bus_(std::make_unique<Bus>(config_.timing, memory_)),
       clock_(config.numPes, 0),
       parkedOn_(config.numPes, kNoAddr)
 {
-    PIM_ASSERT(config_.numPes >= 1);
     caches_.reserve(config_.numPes);
     for (PeId pe = 0; pe < config_.numPes; ++pe) {
         caches_.push_back(
             std::make_unique<PimCache>(pe, config_.cache, *bus_));
     }
     bus_->setUnlockListener(this);
+}
+
+System::~System()
+{
+    // A parked PE at teardown means a driver dropped a lockWait=true
+    // access without retrying it — the busy-wait never resolved and the
+    // run's statistics silently miss the reference. Skip the check while
+    // an exception unwinds (e.g. a SimFault thrown out of access()).
+    if (std::uncaught_exceptions() == 0) {
+        for (PeId pe = 0; pe < config_.numPes; ++pe) {
+            PIM_ASSERT(parkedOn_[pe] == kNoAddr, "pe", pe,
+                       " still parked on block ", parkedOn_[pe],
+                       " at System teardown; the driver leaked a lock "
+                       "wait (see System::pendingWaiters)");
+        }
+    }
 }
 
 System::Access
@@ -46,6 +123,9 @@ System::access(PeId pe, MemOp op, Addr addr, Area area, Word wdata)
     ref.area = area;
     ref.op = config_.policy.apply(area, op);
 
+    for (AccessObserver* obs : observers_)
+        obs->beforeAccess(pe, ref.op, addr, area);
+
     const PimCache::AccessResult result =
         caches_[pe]->access(ref, wdata, clock_[pe]);
     clock_[pe] = result.doneAt;
@@ -54,13 +134,58 @@ System::access(PeId pe, MemOp op, Addr addr, Area area, Word wdata)
     if (result.lockWait) {
         parkedOn_[pe] = result.waitAddr;
         out.lockWait = true;
-        return out;
+    } else {
+        refStats_.record(ref);
+        if (refObserver_)
+            refObserver_(ref);
+        out.data = result.data;
     }
-    refStats_.record(ref);
-    if (refObserver_)
-        refObserver_(ref);
-    out.data = result.data;
+
+    for (AccessObserver* obs : observers_) {
+        obs->afterAccess(pe, ref.op, addr, area, out.data, wdata,
+                         out.lockWait);
+    }
+
+    // Injected fault: a glitch on the UL line wakes every parked PE with
+    // no lock actually released; they retry, hit LH again and re-park.
+    // Combined with StuckLwait ghosts this produces genuine livelock.
+    if (injector_ != nullptr &&
+        injector_->fire(FaultSite::SpuriousWakeup)) {
+        for (PeId waiter = 0; waiter < config_.numPes; ++waiter) {
+            if (parkedOn_[waiter] != kNoAddr) {
+                parkedOn_[waiter] = kNoAddr;
+                clock_[waiter] = std::max(clock_[waiter], clock_[pe]);
+            }
+        }
+    }
     return out;
+}
+
+void
+System::setFaultInjector(FaultInjector* injector)
+{
+    injector_ = injector;
+    bus_->setFaultInjector(injector);
+    for (auto& cache : caches_)
+        cache->setFaultInjector(injector);
+}
+
+std::vector<PeId>
+System::pendingWaiters() const
+{
+    std::vector<PeId> waiters;
+    for (PeId pe = 0; pe < config_.numPes; ++pe) {
+        if (parkedOn_[pe] != kNoAddr)
+            waiters.push_back(pe);
+    }
+    return waiters;
+}
+
+void
+System::abandonParkedWaiters()
+{
+    for (PeId pe = 0; pe < config_.numPes; ++pe)
+        parkedOn_[pe] = kNoAddr;
 }
 
 PeId

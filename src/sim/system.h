@@ -37,6 +37,50 @@ struct SystemConfig {
     BusTiming timing;
     OptPolicy policy = OptPolicy::all();
     std::uint64_t memoryWords = 1ull << 26;
+
+    /**
+     * Check the configuration for construction-time errors (zero PEs,
+     * non-power-of-two geometry, memory not covering a block, ...).
+     * @throws SimFault (Config) with a descriptive message.
+     */
+    void validate() const;
+
+    /**
+     * validate(), plus: the shared memory must cover @p required_words
+     * (e.g. Layout::totalWords() when driving a KL1 address-space map).
+     */
+    void validate(std::uint64_t required_words) const;
+};
+
+/**
+ * Observer of every memory operation a System executes. Used by the
+ * coherence auditor and the lock watchdog; both hooks default to no-ops.
+ * Observers may throw SimFault out of System::access.
+ */
+class AccessObserver
+{
+  public:
+    virtual ~AccessObserver() = default;
+
+    /** Before the cache sees the (post-policy) operation. */
+    virtual void
+    beforeAccess(PeId pe, MemOp op, Addr addr, Area area)
+    {
+        (void)pe; (void)op; (void)addr; (void)area;
+    }
+
+    /**
+     * After the operation finished or lock-waited. @p data is the value
+     * read (reading operations), @p wdata the value written (writing
+     * operations), @p lock_wait whether the PE parked instead.
+     */
+    virtual void
+    afterAccess(PeId pe, MemOp op, Addr addr, Area area, Word data,
+                Word wdata, bool lock_wait)
+    {
+        (void)pe; (void)op; (void)addr; (void)area;
+        (void)data; (void)wdata; (void)lock_wait;
+    }
 };
 
 /** N PEs + caches + lock directories + bus + shared memory. */
@@ -50,6 +94,14 @@ class System : public UnlockListener
     };
 
     explicit System(const SystemConfig& config);
+
+    /**
+     * Panics if any PE is still parked on a lock (the driver dropped a
+     * lockWait=true access without retrying it — a protocol leak), unless
+     * an exception is already unwinding or abandonParkedWaiters() was
+     * called to acknowledge the leak.
+     */
+    ~System() override;
 
     System(const System&) = delete;
     System& operator=(const System&) = delete;
@@ -112,6 +164,35 @@ class System : public UnlockListener
         refObserver_ = std::move(observer);
     }
 
+    /**
+     * Register an observer of every access (auditor, watchdog). Observers
+     * are called in registration order and stay attached for the System's
+     * lifetime; the caller keeps ownership.
+     */
+    void
+    addAccessObserver(AccessObserver* observer)
+    {
+        observers_.push_back(observer);
+    }
+
+    /**
+     * Attach a fault injector (nullptr to detach), forwarded to the bus,
+     * every cache and every lock directory. The System itself consults it
+     * at SpuriousWakeup (parked PEs woken without a real UL).
+     */
+    void setFaultInjector(FaultInjector* injector);
+
+    /** PEs currently parked on a lock, in PE order. */
+    std::vector<PeId> pendingWaiters() const;
+
+    /**
+     * Un-park every waiting PE without a wakeup, acknowledging that their
+     * lock waits will never be retried. For error paths only (e.g. a
+     * stress harness tearing down after a watchdog fault); silences the
+     * destructor's parked-PE leak check.
+     */
+    void abandonParkedWaiters();
+
     // UnlockListener ------------------------------------------------------
     void onUnlockBroadcast(Addr word_addr, Cycles when) override;
 
@@ -124,6 +205,8 @@ class System : public UnlockListener
     std::vector<Addr> parkedOn_; ///< Block a PE busy-waits on (kNoAddr).
     RefStats refStats_;
     std::function<void(const MemRef&)> refObserver_;
+    std::vector<AccessObserver*> observers_;
+    FaultInjector* injector_ = nullptr;
 };
 
 } // namespace pim

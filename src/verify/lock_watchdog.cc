@@ -1,0 +1,106 @@
+#include "verify/lock_watchdog.h"
+
+#include <sstream>
+
+#include "cache/state.h"
+#include "common/sim_fault.h"
+
+namespace pim {
+
+LockWatchdog::LockWatchdog(System& system, const WatchdogConfig& config)
+    : system_(system),
+      config_(config),
+      parkedAge_(system.numPes(), 0),
+      retryBlock_(system.numPes(), kNoAddr),
+      retryCount_(system.numPes(), 0)
+{
+}
+
+std::string
+LockWatchdog::describeLocks() const
+{
+    std::ostringstream out;
+    for (PeId pe = 0; pe < system_.numPes(); ++pe) {
+        out << "\n  pe" << pe;
+        if (system_.parked(pe))
+            out << " parked";
+        out << " @" << system_.clock(pe) << " locks:";
+        const auto entries = system_.cache(pe).lockDirectory().entries();
+        if (entries.empty())
+            out << " none";
+        for (const auto& entry : entries) {
+            out << " " << entry.first << "("
+                << lockStateName(entry.second) << ")";
+        }
+        for (Addr ghost : system_.cache(pe).lockDirectory().ghostWords())
+            out << " " << ghost << "(ghost)";
+    }
+    return out.str();
+}
+
+void
+LockWatchdog::reportStall()
+{
+    throw PIM_SIM_FAULT(
+        SimFaultKind::Deadlock,
+        "no PE can make progress: every PE with work left is parked on a "
+        "lock and no UL is in flight to wake it; lock state:",
+        describeLocks());
+}
+
+void
+LockWatchdog::afterAccess(PeId pe, MemOp op, Addr addr, Area area,
+                          Word data, Word wdata, bool lock_wait)
+{
+    (void)area; (void)data; (void)wdata;
+    const std::uint32_t block_words =
+        system_.config().cache.geometry.blockWords;
+    const Addr base = addr - addr % block_words;
+
+    if (lock_wait) {
+        if (retryBlock_[pe] == base) {
+            retryCount_[pe] += 1;
+        } else {
+            retryBlock_[pe] = base;
+            retryCount_[pe] = 1;
+        }
+        parkedAge_[pe] = 0;
+        if (retryCount_[pe] > config_.livelockRetries) {
+            throw PIM_SIM_FAULT(
+                SimFaultKind::Livelock, "pe", pe, " ", memOpName(op),
+                " at address ", addr, " was lock-rejected ",
+                retryCount_[pe],
+                " consecutive times without completing anything (bound ",
+                config_.livelockRetries, "); lock state:", describeLocks());
+        }
+        if (system_.pendingWaiters().size() == system_.numPes()) {
+            throw PIM_SIM_FAULT(
+                SimFaultKind::Deadlock, "pe", pe, " ", memOpName(op),
+                " at address ", addr,
+                " parked the last runnable PE: all ", system_.numPes(),
+                " PEs now busy-wait and no UL can ever be broadcast; "
+                "lock state:", describeLocks());
+        }
+        return;
+    }
+
+    retryBlock_[pe] = kNoAddr;
+    retryCount_[pe] = 0;
+    parkedAge_[pe] = 0;
+    for (PeId waiter = 0; waiter < system_.numPes(); ++waiter) {
+        if (!system_.parked(waiter))
+            continue;
+        parkedAge_[waiter] += 1;
+        if (parkedAge_[waiter] > config_.starvationBound) {
+            throw PIM_SIM_FAULT(
+                SimFaultKind::Starvation, "pe", waiter,
+                " has stayed parked while the other PEs completed ",
+                parkedAge_[waiter], " references (bound ",
+                config_.starvationBound,
+                "); its UL was probably lost; lock state:",
+                describeLocks());
+        }
+    }
+}
+
+} // namespace pim

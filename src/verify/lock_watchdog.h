@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Watchdog over the busy-wait lock protocol (paper Section 3.1).
+ *
+ * The LR / UW / U protocol relies on every LWAIT entry eventually
+ * producing a UL broadcast. A lost UL (hardware fault, injected or real)
+ * leaves parked PEs asleep forever; a stuck LWAIT entry answers LH
+ * forever and turns retries into livelock. The watchdog observes every
+ * access and raises a structured SimFault when progress stops:
+ *
+ *  - Deadlock: every PE is parked, so no access can ever complete and no
+ *    UL is in flight (the bus only carries transactions synchronously
+ *    with accesses). Also reachable by the driver via reportStall().
+ *  - Starvation: one PE stays parked while the others complete more than
+ *    starvationBound references.
+ *  - Livelock: the same PE re-parks on the same block livelockRetries
+ *    times in a row without completing anything in between.
+ *
+ * Fault messages include the full lock picture (every directory's
+ * LCK/LWAIT entries, plus injected ghosts) so a replay is actionable.
+ */
+
+#ifndef PIMCACHE_VERIFY_LOCK_WATCHDOG_H_
+#define PIMCACHE_VERIFY_LOCK_WATCHDOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/system.h"
+
+namespace pim {
+
+/** Progress bounds for the lock watchdog. */
+struct WatchdogConfig {
+    /** References other PEs may complete while one PE stays parked. */
+    std::uint64_t starvationBound = 100000;
+    /** Consecutive re-parks of one PE on one block before livelock. */
+    std::uint32_t livelockRetries = 1000;
+};
+
+/** Deadlock / starvation / livelock detector for the lock protocol. */
+class LockWatchdog : public AccessObserver
+{
+  public:
+    LockWatchdog(System& system, const WatchdogConfig& config);
+
+    /**
+     * For the driver loop: call when earliestRunnable() returns kNoPe
+     * while work remains. Throws SimFault (Deadlock) with full context.
+     */
+    [[noreturn]] void reportStall();
+
+    // AccessObserver ------------------------------------------------------
+    void afterAccess(PeId pe, MemOp op, Addr addr, Area area, Word data,
+                     Word wdata, bool lock_wait) override;
+
+  private:
+    /** Every PE's parked block + lock directory entries, one per line. */
+    std::string describeLocks() const;
+
+    System& system_;
+    WatchdogConfig config_;
+    /** References completed by others since this PE parked (parked only). */
+    std::vector<std::uint64_t> parkedAge_;
+    /** Block of this PE's latest run of consecutive lock waits. */
+    std::vector<Addr> retryBlock_;
+    /** Length of that run. */
+    std::vector<std::uint32_t> retryCount_;
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_VERIFY_LOCK_WATCHDOG_H_

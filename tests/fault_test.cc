@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Fault-plan spec language and injector determinism tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/sim_fault.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+
+namespace pim {
+namespace {
+
+// ---------------------------------------------------------- the plan --
+
+TEST(FaultPlan, ParsesSitesAndParameters)
+{
+    const FaultPlan plan = FaultPlan::parse(
+        "drop_snoop:p=0.001,corrupt_word:p=1e-4,spurious_inv:after=5000");
+    ASSERT_EQ(plan.rules.size(), 3u);
+    EXPECT_EQ(plan.rules[0].site, FaultSite::DropSnoop);
+    EXPECT_DOUBLE_EQ(plan.rules[0].probability, 0.001);
+    EXPECT_EQ(plan.rules[1].site, FaultSite::CorruptWord);
+    EXPECT_DOUBLE_EQ(plan.rules[1].probability, 1e-4);
+    EXPECT_EQ(plan.rules[2].site, FaultSite::SpuriousInv);
+    EXPECT_EQ(plan.rules[2].after, 5000u);
+    // A pure after-rule fires once by default.
+    EXPECT_EQ(plan.rules[2].maxFires, 1u);
+}
+
+TEST(FaultPlan, EmptySpecIsEmptyPlan)
+{
+    EXPECT_TRUE(FaultPlan::parse("").empty());
+    EXPECT_TRUE(FaultPlan::parse("  ").empty());
+}
+
+TEST(FaultPlan, RoundTripsThroughToString)
+{
+    const char* const specs[] = {
+        "lost_ul:p=1",
+        "bit_flip:p=0.25:after=100:n=3",
+        "stuck_lwait:after=7",
+        "drop_snoop:p=0.001,dup_snoop:p=0.002,forced_miss:after=10",
+        "spurious_wakeup:p=0.125",
+    };
+    for (const char* spec : specs) {
+        const FaultPlan plan = FaultPlan::parse(spec);
+        const std::string canonical = plan.toString();
+        const FaultPlan reparsed = FaultPlan::parse(canonical);
+        EXPECT_EQ(reparsed.toString(), canonical) << spec;
+        ASSERT_EQ(reparsed.rules.size(), plan.rules.size()) << spec;
+        for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+            EXPECT_EQ(reparsed.rules[i].site, plan.rules[i].site);
+            EXPECT_DOUBLE_EQ(reparsed.rules[i].probability,
+                             plan.rules[i].probability);
+            EXPECT_EQ(reparsed.rules[i].after, plan.rules[i].after);
+            EXPECT_EQ(reparsed.rules[i].maxFires, plan.rules[i].maxFires);
+        }
+    }
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs)
+{
+    const char* const bad[] = {
+        "no_such_site:p=0.5", "drop_snoop:p=1.5", "drop_snoop:p=-0.1",
+        "drop_snoop:p=abc",   "drop_snoop",       "corrupt_word:q=3",
+        "lost_ul:after=x",
+    };
+    for (const char* spec : bad) {
+        EXPECT_THROW(FaultPlan::parse(spec), SimFault) << spec;
+        try {
+            FaultPlan::parse(spec);
+        } catch (const SimFault& fault) {
+            EXPECT_EQ(fault.kind(), SimFaultKind::Config) << spec;
+        }
+    }
+}
+
+TEST(FaultPlan, EverySiteNameParses)
+{
+    for (int i = 0; i < kNumFaultSites; ++i) {
+        const FaultSite site = static_cast<FaultSite>(i);
+        const std::string spec = std::string(faultSiteName(site)) + ":p=1";
+        const FaultPlan plan = FaultPlan::parse(spec);
+        ASSERT_EQ(plan.rules.size(), 1u) << spec;
+        EXPECT_EQ(plan.rules[0].site, site);
+    }
+}
+
+// ------------------------------------------------------ the injector --
+
+TEST(FaultInjector, SameSeedSameDecisions)
+{
+    const FaultPlan plan = FaultPlan::parse("drop_snoop:p=0.3");
+    FaultInjector a(plan, 42);
+    FaultInjector b(plan, 42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.fire(FaultSite::DropSnoop), b.fire(FaultSite::DropSnoop));
+    EXPECT_EQ(a.totalFires(), b.totalFires());
+    EXPECT_GT(a.totalFires(), 0u);
+    EXPECT_LT(a.totalFires(), 1000u);
+}
+
+TEST(FaultInjector, AfterRuleFiresExactlyOnceAtThreshold)
+{
+    const FaultPlan plan = FaultPlan::parse("lost_ul:after=5");
+    FaultInjector injector(plan, 1);
+    int fired_at = -1;
+    for (int i = 1; i <= 20; ++i) {
+        if (injector.fire(FaultSite::LostUnlock)) {
+            EXPECT_EQ(fired_at, -1) << "fired more than once";
+            fired_at = i;
+        }
+    }
+    EXPECT_EQ(fired_at, 6); // Armed after the 5th opportunity.
+    EXPECT_EQ(injector.stats(FaultSite::LostUnlock).opportunities, 20u);
+    EXPECT_EQ(injector.stats(FaultSite::LostUnlock).fires, 1u);
+}
+
+TEST(FaultInjector, MaxFiresBoundsProbabilisticRules)
+{
+    const FaultPlan plan = FaultPlan::parse("bit_flip:p=1:n=3");
+    FaultInjector injector(plan, 9);
+    int fires = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (injector.fire(FaultSite::BitFlipFill))
+            ++fires;
+    }
+    EXPECT_EQ(fires, 3);
+}
+
+TEST(FaultInjector, SitesAreIndependent)
+{
+    const FaultPlan plan = FaultPlan::parse("dup_snoop:p=1");
+    FaultInjector injector(plan, 3);
+    EXPECT_FALSE(injector.fire(FaultSite::DropSnoop));
+    EXPECT_TRUE(injector.fire(FaultSite::DupSnoop));
+    EXPECT_FALSE(injector.fire(FaultSite::CorruptWord));
+    EXPECT_EQ(injector.stats(FaultSite::CorruptWord).opportunities, 1u);
+}
+
+TEST(FaultInjector, FlipBitChangesExactlyOneBit)
+{
+    FaultInjector injector(FaultPlan::parse("corrupt_word:p=1"), 5);
+    Word words[4] = {0, 0, 0, 0};
+    injector.flipBit(words, 4);
+    int bits = 0;
+    for (Word w : words) {
+        for (int b = 0; b < 64; ++b)
+            bits += (w >> b) & 1;
+    }
+    EXPECT_EQ(bits, 1);
+}
+
+} // namespace
+} // namespace pim

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sim_fault.h"
 #include "kl1/compiler.h"
 #include "kl1/lexer.h"
 #include "kl1/parser.h"
@@ -59,10 +60,20 @@ TEST(Lexer, QuotedAtomsAndUnderscoreVars)
     EXPECT_TRUE(toks[2].is(TokKind::Var, "_"));
 }
 
-TEST(LexerDeath, IllegalCharacter)
+TEST(Lexer, IllegalCharacterThrowsWithPosition)
 {
-    EXPECT_EXIT(tokenize("foo @ bar"), ::testing::ExitedWithCode(1),
-                "illegal character");
+    try {
+        tokenize("foo @ bar", "bad.fghc");
+        FAIL() << "expected SimFault";
+    } catch (const SimFault& fault) {
+        EXPECT_EQ(fault.kind(), SimFaultKind::Parse);
+        EXPECT_NE(std::string(fault.what()).find("bad.fghc:1:5"),
+                  std::string::npos)
+            << fault.what();
+        EXPECT_NE(std::string(fault.what()).find("illegal character"),
+                  std::string::npos)
+            << fault.what();
+    }
 }
 
 // ------------------------------------------------------------ parser --
@@ -140,10 +151,17 @@ TEST(Parser, ModOperator)
     EXPECT_EQ(t.args[0].args[0].name, "mod");
 }
 
-TEST(ParserDeath, SyntaxErrorHasLine)
+TEST(Parser, SyntaxErrorThrowsWithPosition)
 {
-    EXPECT_EXIT(parseProgram("p(X :- q.\n"), ::testing::ExitedWithCode(1),
-                "syntax error at line 1");
+    try {
+        parseProgram("p(X :- q.\n", "prog.fghc");
+        FAIL() << "expected SimFault";
+    } catch (const SimFault& fault) {
+        EXPECT_EQ(fault.kind(), SimFaultKind::Parse);
+        const std::string what = fault.what();
+        EXPECT_NE(what.find("prog.fghc:1:"), std::string::npos) << what;
+        EXPECT_NE(what.find("syntax error"), std::string::npos) << what;
+    }
 }
 
 // ------------------------------------------------------------- terms --

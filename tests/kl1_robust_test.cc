@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Front-end robustness: malformed .fghc input must produce a SimFault
+ * (Parse) with file/line/column — never terminate the process. The whole
+ * point is that these tests run in-process: an abort() anywhere kills
+ * the test binary and fails the suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/sim_fault.h"
+#include "kl1/lexer.h"
+#include "kl1/parser.h"
+
+namespace pim::kl1 {
+namespace {
+
+const char kGood[] =
+    "append([], Ys, Zs) :- Zs = Ys.\n"
+    "append([X|Xs], Ys, Zs) :- Zs = [X|Zs1], append(Xs, Ys, Zs1).\n"
+    "main(R) :- append([1,2], [3], R).\n";
+
+/** parseProgram either succeeds or throws SimFault(Parse); no aborts. */
+bool
+parseSurvives(const std::string& source)
+{
+    try {
+        parseProgram(source, "fuzz.fghc");
+        return true;
+    } catch (const SimFault& fault) {
+        EXPECT_EQ(fault.kind(), SimFaultKind::Parse);
+        EXPECT_NE(std::string(fault.what()).find("fuzz.fghc:"),
+                  std::string::npos)
+            << fault.what();
+        return false;
+    }
+}
+
+TEST(Kl1Robust, EveryTruncationIsHandled)
+{
+    const std::string good(kGood);
+    int parsed = 0;
+    for (std::size_t len = 0; len <= good.size(); ++len) {
+        if (parseSurvives(good.substr(0, len)))
+            ++parsed;
+    }
+    // The empty prefix and the full program parse; most cuts must not.
+    EXPECT_GE(parsed, 2);
+    EXPECT_LT(parsed, static_cast<int>(good.size()));
+}
+
+TEST(Kl1Robust, GarbageBytesNeverAbort)
+{
+    Rng rng(2026);
+    for (int round = 0; round < 200; ++round) {
+        std::string garbage;
+        const std::size_t len = rng.below(64);
+        for (std::size_t i = 0; i < len; ++i)
+            garbage.push_back(static_cast<char>(rng.range(1, 255)));
+        parseSurvives(garbage);
+    }
+}
+
+TEST(Kl1Robust, MutatedProgramNeverAborts)
+{
+    Rng rng(7);
+    const std::string good(kGood);
+    for (int round = 0; round < 200; ++round) {
+        std::string mutated = good;
+        const std::size_t pos = rng.below(mutated.size());
+        mutated[pos] = static_cast<char>(rng.range(1, 127));
+        parseSurvives(mutated);
+    }
+}
+
+TEST(Kl1Robust, UnterminatedCommentReportsPosition)
+{
+    try {
+        tokenize("a.\n/* never closed", "c.fghc");
+        FAIL() << "expected SimFault";
+    } catch (const SimFault& fault) {
+        EXPECT_EQ(fault.kind(), SimFaultKind::Parse);
+        EXPECT_NE(std::string(fault.what()).find("c.fghc:2:"),
+                  std::string::npos)
+            << fault.what();
+    }
+}
+
+TEST(Kl1Robust, UnterminatedAtomReportsPosition)
+{
+    EXPECT_THROW(tokenize("x = 'oops"), SimFault);
+}
+
+TEST(Kl1Robust, ColumnNumbersAreTracked)
+{
+    const auto toks = tokenize("ab cd\n  ef");
+    ASSERT_GE(toks.size(), 3u);
+    EXPECT_EQ(toks[0].column, 1);
+    EXPECT_EQ(toks[1].column, 4);
+    EXPECT_EQ(toks[2].line, 2);
+    EXPECT_EQ(toks[2].column, 3);
+}
+
+} // namespace
+} // namespace pim::kl1

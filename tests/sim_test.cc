@@ -83,6 +83,8 @@ TEST(System, EarliestRunnableSkipsParked)
     sys.access(1, MemOp::R, 100, Area::Heap, 0); // parks pe1
     ASSERT_TRUE(sys.parked(1));
     EXPECT_EQ(sys.earliestRunnable(), 0u);
+    sys.access(0, MemOp::U, 100, Area::Heap, 0); // wake pe1
+    sys.access(1, MemOp::R, 100, Area::Heap, 0); // retry completes
 }
 
 TEST(System, RefStatsCountCompletedOnly)

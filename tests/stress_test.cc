@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Seed-replay stress harness tests: bit-identical determinism, fault
+ * class detection under injection, and a clean audited run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stress.h"
+
+namespace pim {
+namespace {
+
+StressConfig
+quickConfig(std::uint64_t seed)
+{
+    StressConfig config;
+    config.seed = seed;
+    config.numPes = 4;
+    config.steps = 3000;
+    config.spanWords = 1024;
+    return config;
+}
+
+TEST(Stress, CleanRunPassesTheAuditor)
+{
+    const StressResult result = runStress(quickConfig(11));
+    EXPECT_FALSE(result.failed) << result.message;
+    EXPECT_GE(result.completedRefs, 3000u);
+    EXPECT_GT(result.auditChecks, 0u);
+    EXPECT_GT(result.makespan, 0u);
+}
+
+TEST(Stress, SameConfigSameFingerprint)
+{
+    const StressResult a = runStress(quickConfig(42));
+    const StressResult b = runStress(quickConfig(42));
+    EXPECT_FALSE(a.failed) << a.message;
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.completedRefs, b.completedRefs);
+    EXPECT_EQ(a.makespan, b.makespan);
+
+    const StressResult c = runStress(quickConfig(43));
+    EXPECT_NE(a.fingerprint, c.fingerprint);
+}
+
+TEST(Stress, GeometryStringRoundTrips)
+{
+    StressConfig config;
+    config.setGeometry("8x4x128");
+    EXPECT_EQ(config.blockWords, 8u);
+    EXPECT_EQ(config.ways, 4u);
+    EXPECT_EQ(config.sets, 128u);
+    EXPECT_EQ(config.geometryString(), "8x4x128");
+    EXPECT_THROW(config.setGeometry("8x4"), SimFault);
+    EXPECT_THROW(config.setGeometry("axbxc"), SimFault);
+}
+
+TEST(Stress, CorruptionIsDetectedAndReplays)
+{
+    StressConfig config = quickConfig(7);
+    config.planSpec = "corrupt_word:p=0.01";
+    const StressResult first = runStress(config);
+    ASSERT_TRUE(first.failed);
+    EXPECT_TRUE(first.kind == SimFaultKind::Corruption ||
+                first.kind == SimFaultKind::Protocol)
+        << first.message;
+    EXPECT_NE(first.replayLine.find("--seed=7"), std::string::npos)
+        << first.replayLine;
+    EXPECT_NE(first.replayLine.find("--plan=corrupt_word"),
+              std::string::npos);
+
+    // The replay line's content is the config itself: rerunning the
+    // same config must reproduce the identical failure.
+    const StressResult again = runStress(config);
+    ASSERT_TRUE(again.failed);
+    EXPECT_EQ(again.kind, first.kind);
+    EXPECT_EQ(again.message, first.message);
+    EXPECT_EQ(again.completedRefs, first.completedRefs);
+}
+
+TEST(Stress, LostUnlockIsDetectedAsDeadlockOrStarvation)
+{
+    StressConfig config = quickConfig(5);
+    config.planSpec = "lost_ul:p=1";
+    config.lockPct = 40;
+    const StressResult result = runStress(config);
+    ASSERT_TRUE(result.failed);
+    EXPECT_TRUE(result.kind == SimFaultKind::Deadlock ||
+                result.kind == SimFaultKind::Starvation)
+        << result.message;
+
+    const StressResult again = runStress(config);
+    EXPECT_EQ(again.kind, result.kind);
+    EXPECT_EQ(again.message, result.message);
+}
+
+TEST(Stress, StuckLwaitIsDetectedAsLivelock)
+{
+    StressConfig config = quickConfig(9);
+    config.planSpec = "stuck_lwait:p=1,spurious_wakeup:p=0.5";
+    config.lockPct = 40;
+    config.watchdog.livelockRetries = 50;
+    const StressResult result = runStress(config);
+    ASSERT_TRUE(result.failed);
+    EXPECT_TRUE(result.kind == SimFaultKind::Livelock ||
+                result.kind == SimFaultKind::Deadlock ||
+                result.kind == SimFaultKind::Starvation)
+        << result.message;
+    EXPECT_FALSE(result.replayLine.empty());
+
+    const StressResult again = runStress(config);
+    EXPECT_EQ(again.kind, result.kind);
+    EXPECT_EQ(again.message, result.message);
+}
+
+TEST(Stress, ForcedMissDroppingDirtyDataIsCaught)
+{
+    // A forced miss silently drops the copy without copy-back, so the
+    // first one that hits a dirty block is a detectable corruption.
+    StressConfig config = quickConfig(3);
+    config.planSpec = "forced_miss:p=0.05";
+    const StressResult result = runStress(config);
+    ASSERT_TRUE(result.failed);
+    EXPECT_TRUE(result.kind == SimFaultKind::Corruption ||
+                result.kind == SimFaultKind::Protocol)
+        << result.message;
+}
+
+TEST(Stress, InjectorSummaryIsReported)
+{
+    StressConfig config = quickConfig(3);
+    // An armed-but-never-fired rule still counts its opportunities.
+    config.planSpec = "forced_miss:after=999999999";
+    const StressResult result = runStress(config);
+    EXPECT_FALSE(result.failed) << result.message;
+    EXPECT_NE(result.injectorSummary.find("forced_miss=0/"),
+              std::string::npos)
+        << result.injectorSummary;
+}
+
+} // namespace
+} // namespace pim
