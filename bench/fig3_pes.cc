@@ -18,6 +18,7 @@ run(int argc, const char* const* argv)
 {
     const BenchContext ctx = BenchContext::parse(argc, argv);
     banner("Figure 3: Number of PEs vs Bus Traffic", ctx);
+    BenchJson json(ctx, "fig3_pes");
 
     const std::uint32_t pe_counts[] = {1, 2, 4, 6, 8};
 
@@ -42,6 +43,8 @@ run(int argc, const char* const* argv)
         std::vector<double> goal_share;
         std::vector<double> susp_share;
         std::vector<double> comm_share;
+        json.row();
+        json.set("pes", pes);
         for (const BenchProgram& bench : allBenchmarks()) {
             const BenchResult r =
                 runBenchmark(bench, ctx.scale, paperConfig(pes));
@@ -53,6 +56,11 @@ run(int argc, const char* const* argv)
             su_cells.push_back(fmtFixed(
                 base_span[bench.name] /
                     static_cast<double>(r.run.makespan), 1));
+            json.set("measured_bus_cycles_" + std::string(bench.name),
+                     static_cast<std::uint64_t>(r.bus.totalCycles));
+            json.set("measured_speedup_" + std::string(bench.name),
+                     base_span[bench.name] /
+                         static_cast<double>(r.run.makespan));
             const double total =
                 static_cast<double>(r.bus.totalCycles);
             auto share = [&](Area area) {
@@ -72,7 +80,12 @@ run(int argc, const char* const* argv)
                        fmtFixed(mean(goal_share), 1),
                        fmtFixed(mean(susp_share), 1),
                        fmtFixed(mean(comm_share), 1)});
+        json.set("measured_share_pct_heap", mean(heap_share));
+        json.set("measured_share_pct_goal", mean(goal_share));
+        json.set("measured_share_pct_susp", mean(susp_share));
+        json.set("measured_share_pct_comm", mean(comm_share));
     }
+    json.write();
     bus.print(std::cout);
     std::printf("\n");
     speedup.print(std::cout);

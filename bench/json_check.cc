@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Schema validator for the simulator's JSON outputs (BENCH_*.json,
+ * metrics, timelines, reportAllJson documents). Parses each positional
+ * file and checks every --require=PATH dotted path resolves to a value
+ * (numeric segments index arrays, e.g. "rows.0.measured_cycles").
+ *
+ * Exit codes: 0 = all files parse and all required paths resolve;
+ * 1 = a parse failure or a missing path. Used by the ctest `obs` label
+ * to validate the bench --json schema without a Python dependency.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/options.h"
+#include "common/sim_fault.h"
+
+using namespace pim;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "json_check FILE... [--require=PATH ...]\n"
+        "  Parses each FILE as JSON and verifies every --require dotted\n"
+        "  path resolves (numeric segments index arrays).\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Options opts = Options::parse(argc, argv);
+    if (opts.getBool("help") || opts.positional().empty()) {
+        usage();
+        return opts.getBool("help") ? 0 : 1;
+    }
+
+    // Collect every --require (the shared parser keeps only the last
+    // value per name, so scan argv directly for repeats).
+    std::vector<std::string> required;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const std::string prefix = "--require=";
+        if (arg.rfind(prefix, 0) == 0)
+            required.push_back(arg.substr(prefix.size()));
+    }
+
+    int failures = 0;
+    for (const std::string& path : opts.positional()) {
+        JsonValue doc;
+        try {
+            doc = JsonValue::parseFile(path);
+        } catch (const SimFault& fault) {
+            std::fprintf(stderr, "json_check: %s: %s\n", path.c_str(),
+                         fault.what());
+            ++failures;
+            continue;
+        }
+        int missing = 0;
+        for (const std::string& req : required) {
+            if (doc.findPath(req) == nullptr) {
+                std::fprintf(stderr,
+                             "json_check: %s: missing required path "
+                             "'%s'\n",
+                             path.c_str(), req.c_str());
+                ++missing;
+            }
+        }
+        failures += missing;
+        if (missing == 0) {
+            std::printf("json_check: %s: ok (%zu top-level members)\n",
+                        path.c_str(), doc.size());
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}

@@ -46,6 +46,9 @@ usage()
         "(default 100000)\n"
         "  --livelock-retries=N  watchdog livelock bound (default 1000)\n"
         "  --trace-out=PATH    dump completed refs on failure (PIMTRACE)\n"
+        "  --timeline-out=PATH dump Chrome trace-event timeline (always;\n"
+        "                      with --trace-out only, dumped on failure\n"
+        "                      as <trace-out>.timeline.json)\n"
         "  --no-audit          detach the coherence auditor\n"
         "  --expect-fault      exit 0 iff a fault was detected\n"
         "  --replay            marker flag printed in replay lines; a\n"
@@ -55,7 +58,7 @@ usage()
 const char* const kKnownFlags[] = {
     "seed",       "pes",        "geometry",  "steps",
     "span",       "write-pct",  "lock-pct",  "opt-pct",
-    "plan",       "trace-out",  "no-audit",  "expect-fault",
+    "plan",       "trace-out",  "timeline-out", "no-audit",  "expect-fault",
     "replay",     "help",       "starvation-bound", "livelock-retries",
 };
 
@@ -118,6 +121,7 @@ main(int argc, char** argv)
             static_cast<std::uint32_t>(opts.getInt("opt-pct", 15));
         config.planSpec = opts.getString("plan", "");
         config.traceOut = opts.getString("trace-out", "");
+        config.timelineOut = opts.getString("timeline-out", "");
         config.audit = !opts.getBool("no-audit");
         config.watchdog.starvationBound = static_cast<std::uint64_t>(
             opts.getInt("starvation-bound", 100000));
@@ -148,6 +152,11 @@ main(int argc, char** argv)
                     static_cast<unsigned long long>(result.auditChecks),
                     static_cast<unsigned long long>(result.fingerprint),
                     static_cast<unsigned long long>(result.makespan));
+    }
+    if (!result.timelinePath.empty()) {
+        std::printf("timeline: %llu events -> %s\n",
+                    static_cast<unsigned long long>(result.timelineEvents),
+                    result.timelinePath.c_str());
     }
     if (!result.injectorSummary.empty())
         std::printf("faults injected: %s\n", result.injectorSummary.c_str());

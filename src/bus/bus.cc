@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/xassert.h"
+#include "obs/event_sink.h"
 
 namespace pim {
 
@@ -24,7 +25,7 @@ Bus::setUnlockListener(UnlockListener* listener)
 }
 
 bool
-Bus::lockCheck(PeId requester, Addr block_addr)
+Bus::lockCheck(PeId requester, Addr block_addr, Cycles when)
 {
     bool lock_hit = false;
     for (const Port& port : ports_) {
@@ -32,10 +33,18 @@ Bus::lockCheck(PeId requester, Addr block_addr)
             continue;
         // All remote directories snoop (each may move LCK -> LWAIT), so
         // do not short-circuit.
-        if (port.locks->snoopLockCheck(block_addr, timing_.blockWords))
+        if (port.locks->snoopLockCheck(block_addr, timing_.blockWords,
+                                       when))
             lock_hit = true;
     }
     return lock_hit;
+}
+
+void
+Bus::emitTxn(const BusTxnEvent& event)
+{
+    if (sink_ != nullptr)
+        sink_->onBusTransaction(event);
 }
 
 FetchResult
@@ -56,12 +65,27 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
         stats_.cmdCounts[static_cast<int>(BusCmd::LK)] += 1;
     }
 
-    if (lockCheck(requester, block_addr)) {
+    if (lockCheck(requester, block_addr, start)) {
         const Cycles cost = timing_.lockRejectCycles();
         stats_.account(BusPattern::LockReject, cost, area, requester);
         freeAt_ = start + cost;
         result.lockHit = true;
         result.completeAt = freeAt_;
+        if (sink_ != nullptr) {
+            BusTxnEvent event;
+            event.requester = requester;
+            event.pattern = BusPattern::LockReject;
+            event.area = area;
+            event.blockAddr = block_addr;
+            event.requestedAt = when;
+            event.startedAt = start;
+            event.completedAt = freeAt_;
+            event.cmd = invalidate ? BusCmd::FI : BusCmd::F;
+            event.hasCmd = true;
+            event.withLock = with_lock;
+            event.lockHit = true;
+            emitTxn(event);
+        }
         return result;
     }
 
@@ -70,7 +94,7 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
     if (injector_ != nullptr && injector_->fire(FaultSite::SpuriousInv)) {
         for (const Port& port : ports_) {
             if (port.pe != requester && port.cache != nullptr)
-                port.cache->snoopInvalidate(block_addr);
+                port.cache->snoopInvalidate(block_addr, start);
         }
     }
 
@@ -86,14 +110,15 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
                 continue;
             }
             BusSnooper::FetchReply reply =
-                port.cache->snoopFetch(block_addr, invalidate, data_out);
+                port.cache->snoopFetch(block_addr, invalidate, data_out,
+                                       start);
             if (reply.present && injector_ != nullptr &&
                 injector_->fire(FaultSite::DupSnoop)) {
                 // Injected fault: the snoop is delivered twice; the second
                 // reply (now from a downgraded copy) wins, so a dirty bit
                 // can silently vanish.
                 reply = port.cache->snoopFetch(block_addr, invalidate,
-                                               data_out);
+                                               data_out, start);
             }
             if (reply.present) {
                 result.supplied = true;
@@ -102,18 +127,17 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
         } else if (invalidate) {
             // A non-supplier copy may be the dirty (SM) owner; its
             // dirtiness migrates to the requester rather than vanishing.
-            if (port.cache->snoopInvalidate(block_addr))
+            if (port.cache->snoopInvalidate(block_addr, start))
                 result.supplierDirty = true;
         }
         // For plain F, non-supplier sharers keep their copies.
     }
 
     Cycles cost = 0;
+    BusPattern pattern;
     if (result.supplied) {
+        pattern = dirty_victim ? BusPattern::C2CVictim : BusPattern::C2C;
         cost = timing_.cacheToCacheCycles(dirty_victim);
-        stats_.account(dirty_victim ? BusPattern::C2CVictim
-                                    : BusPattern::C2C,
-                       cost, area, requester);
     } else {
         for (std::uint32_t w = 0; w < timing_.blockWords; ++w)
             data_out[w] = memory_.read(block_addr + w);
@@ -121,16 +145,35 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
             stats_.staleFetches += 1;
         stats_.memoryBusyCycles += timing_.memAccessCycles;
         stats_.memoryReads += 1;
+        pattern = dirty_victim ? BusPattern::MemFetchVictim
+                               : BusPattern::MemFetch;
         cost = timing_.swapInCycles(dirty_victim);
-        stats_.account(dirty_victim ? BusPattern::MemFetchVictim
-                                    : BusPattern::MemFetch,
-                       cost, area, requester);
     }
+    stats_.account(pattern, cost, area, requester);
     // Injected fault: one bit of the transferred block flips on the bus.
     if (injector_ != nullptr && injector_->fire(FaultSite::CorruptWord))
         injector_->flipBit(data_out, timing_.blockWords);
     freeAt_ = start + cost;
     result.completeAt = freeAt_;
+    if (sink_ != nullptr) {
+        BusTxnEvent event;
+        event.requester = requester;
+        event.pattern = pattern;
+        event.area = area;
+        event.blockAddr = block_addr;
+        event.requestedAt = when;
+        event.startedAt = start;
+        event.completedAt = freeAt_;
+        event.cmd = invalidate ? BusCmd::FI : BusCmd::F;
+        event.hasCmd = true;
+        event.withLock = with_lock;
+        event.supplied = result.supplied;
+        event.supplierDirty = result.supplierDirty;
+        event.dataBeats =
+            timing_.blockTransferCycles() +
+            (dirty_victim ? timing_.blockTransferCycles() : 0);
+        emitTxn(event);
+    }
     return result;
 }
 
@@ -149,12 +192,27 @@ Bus::invalidate(PeId requester, Addr block_addr, bool with_lock,
         stats_.cmdCounts[static_cast<int>(BusCmd::LK)] += 1;
         // Only lock-carrying invalidations are answered by LH (the plain
         // I command is not in the paper's LH response list).
-        if (lockCheck(requester, block_addr)) {
+        if (lockCheck(requester, block_addr, start)) {
             const Cycles cost = timing_.lockRejectCycles();
             stats_.account(BusPattern::LockReject, cost, area, requester);
             freeAt_ = start + cost;
             result.lockHit = true;
             result.completeAt = freeAt_;
+            if (sink_ != nullptr) {
+                BusTxnEvent event;
+                event.requester = requester;
+                event.pattern = BusPattern::LockReject;
+                event.area = area;
+                event.blockAddr = block_addr;
+                event.requestedAt = when;
+                event.startedAt = start;
+                event.completedAt = freeAt_;
+                event.cmd = BusCmd::I;
+                event.hasCmd = true;
+                event.withLock = true;
+                event.lockHit = true;
+                emitTxn(event);
+            }
             return result;
         }
     }
@@ -162,13 +220,28 @@ Bus::invalidate(PeId requester, Addr block_addr, bool with_lock,
     for (const Port& port : ports_) {
         if (port.pe == requester || port.cache == nullptr)
             continue;
-        if (port.cache->snoopInvalidate(block_addr))
+        if (port.cache->snoopInvalidate(block_addr, start))
             result.droppedDirty = true;
     }
     const Cycles cost = timing_.invalidateCycles();
     stats_.account(BusPattern::Invalidate, cost, area, requester);
     freeAt_ = start + cost;
     result.completeAt = freeAt_;
+    if (sink_ != nullptr) {
+        BusTxnEvent event;
+        event.requester = requester;
+        event.pattern = BusPattern::Invalidate;
+        event.area = area;
+        event.blockAddr = block_addr;
+        event.requestedAt = when;
+        event.startedAt = start;
+        event.completedAt = freeAt_;
+        event.cmd = BusCmd::I;
+        event.hasCmd = true;
+        event.withLock = with_lock;
+        event.supplierDirty = result.droppedDirty;
+        emitTxn(event);
+    }
     return result;
 }
 
@@ -209,6 +282,18 @@ Bus::swapOutOnly(PeId requester, Addr victim_addr, const Word* data,
     const Cycles cost = timing_.swapOutOnlyCycles();
     stats_.account(BusPattern::SwapOutOnly, cost, area, requester);
     freeAt_ = start + cost;
+    if (sink_ != nullptr) {
+        BusTxnEvent event;
+        event.requester = requester;
+        event.pattern = BusPattern::SwapOutOnly;
+        event.area = area;
+        event.blockAddr = victim_addr;
+        event.requestedAt = when;
+        event.startedAt = start;
+        event.completedAt = freeAt_;
+        event.dataBeats = timing_.blockTransferCycles();
+        emitTxn(event);
+    }
     return freeAt_;
 }
 
@@ -220,6 +305,19 @@ Bus::unlockBroadcast(PeId requester, Addr word_addr, Cycles when, Area area)
     const Cycles cost = timing_.unlockCycles();
     stats_.account(BusPattern::Unlock, cost, area, requester);
     freeAt_ = start + cost;
+    if (sink_ != nullptr) {
+        BusTxnEvent event;
+        event.requester = requester;
+        event.pattern = BusPattern::Unlock;
+        event.area = area;
+        event.blockAddr = word_addr;
+        event.requestedAt = when;
+        event.startedAt = start;
+        event.completedAt = freeAt_;
+        event.cmd = BusCmd::UL;
+        event.hasCmd = true;
+        emitTxn(event);
+    }
     if (unlockListener_ != nullptr)
         unlockListener_->onUnlockBroadcast(word_addr, freeAt_);
     return freeAt_;
@@ -238,11 +336,23 @@ Bus::writeWordThrough(PeId requester, Addr word_addr, Word value,
     for (const Port& port : ports_) {
         if (port.pe == requester || port.cache == nullptr)
             continue;
-        port.cache->snoopInvalidate(block_addr);
+        port.cache->snoopInvalidate(block_addr, start);
     }
     const Cycles cost = timing_.wordWriteCycles();
     stats_.account(BusPattern::WordWrite, cost, area, requester);
     freeAt_ = start + cost;
+    if (sink_ != nullptr) {
+        BusTxnEvent event;
+        event.requester = requester;
+        event.pattern = BusPattern::WordWrite;
+        event.area = area;
+        event.blockAddr = block_addr;
+        event.requestedAt = when;
+        event.startedAt = start;
+        event.completedAt = freeAt_;
+        event.dataBeats = 1;
+        emitTxn(event);
+    }
     return freeAt_;
 }
 

@@ -27,6 +27,9 @@
 
 namespace pim {
 
+class EventSink;
+struct BusTxnEvent;
+
 /** Cache-side snoop interface. */
 class BusSnooper
 {
@@ -40,22 +43,23 @@ class BusSnooper
     };
 
     /**
-     * F or FI observed for @p block_addr. If this cache holds the block
-     * it must copy it into @p data_out, then downgrade to shared (F) or
-     * invalidate (FI) its copy, and report whether the copy was dirty.
-     * Dirty data is *not* copied back to shared memory here — that is the
-     * point of the SM state (the Illinois-style baseline overrides this).
+     * F or FI observed for @p block_addr at bus time @p when. If this
+     * cache holds the block it must copy it into @p data_out, then
+     * downgrade to shared (F) or invalidate (FI) its copy, and report
+     * whether the copy was dirty. Dirty data is *not* copied back to
+     * shared memory here — that is the point of the SM state (the
+     * Illinois-style baseline overrides this).
      */
     virtual FetchReply snoopFetch(Addr block_addr, bool invalidate,
-                                  Word* data_out) = 0;
+                                  Word* data_out, Cycles when) = 0;
 
     /**
-     * I (or the invalidation half of FI) observed for @p block_addr: drop
-     * any copy. @return true if the dropped copy was dirty (EM/SM), so
-     * that dirty ownership can migrate to the requester instead of being
-     * silently lost.
+     * I (or the invalidation half of FI) observed for @p block_addr at
+     * bus time @p when: drop any copy. @return true if the dropped copy
+     * was dirty (EM/SM), so that dirty ownership can migrate to the
+     * requester instead of being silently lost.
      */
-    virtual bool snoopInvalidate(Addr block_addr) = 0;
+    virtual bool snoopInvalidate(Addr block_addr, Cycles when) = 0;
 };
 
 /** Lock-directory-side snoop interface. */
@@ -65,12 +69,13 @@ class LockSnooper
     virtual ~LockSnooper() = default;
 
     /**
-     * F, FI or LK observed for the block [block_addr, block_addr +
-     * block_words). If this directory holds a lock on any word in that
-     * block it must move the entry to LWAIT and return true (LH).
+     * F, FI or LK observed at bus time @p when for the block
+     * [block_addr, block_addr + block_words). If this directory holds a
+     * lock on any word in that block it must move the entry to LWAIT and
+     * return true (LH).
      */
-    virtual bool snoopLockCheck(Addr block_addr,
-                                std::uint32_t block_words) = 0;
+    virtual bool snoopLockCheck(Addr block_addr, std::uint32_t block_words,
+                                Cycles when) = 0;
 };
 
 /** Observer of UL broadcasts (the system uses it to wake parked PEs). */
@@ -161,6 +166,14 @@ class Bus
     }
 
     /**
+     * Attach an observability sink (nullptr to detach). Every completed
+     * transaction — including LH-rejected attempts — is reported with its
+     * arbitration wait, bus occupancy and response flags. An unobserved
+     * bus pays one null compare per transaction.
+     */
+    void setEventSink(EventSink* sink) { sink_ = sink; }
+
+    /**
      * Issue F (or FI when @p invalidate). Lock directories are checked
      * first; on LH the transaction aborts (lock-reject cycles). Otherwise
      * the block is supplied cache-to-cache or from memory into
@@ -247,13 +260,17 @@ class Bus
     };
 
     /** LH check across all directories except the requester's. */
-    bool lockCheck(PeId requester, Addr block_addr);
+    bool lockCheck(PeId requester, Addr block_addr, Cycles when);
+
+    /** Report one transaction to the sink (no-op when none attached). */
+    void emitTxn(const BusTxnEvent& event);
 
     BusTiming timing_;
     PagedStore& memory_;
     std::vector<Port> ports_;
     UnlockListener* unlockListener_ = nullptr;
     FaultInjector* injector_ = nullptr;
+    EventSink* sink_ = nullptr;
     Cycles freeAt_ = 0;
     BusStats stats_;
     std::unordered_set<Addr> purgedDirty_;

@@ -1,6 +1,7 @@
 #include "cache/lock_directory.h"
 
 #include "common/xassert.h"
+#include "obs/event_sink.h"
 
 namespace pim {
 
@@ -11,7 +12,7 @@ LockDirectory::LockDirectory(PeId owner, std::uint32_t entries)
 }
 
 void
-LockDirectory::acquire(Addr word_addr)
+LockDirectory::acquire(Addr word_addr, Cycles when)
 {
     PIM_ASSERT(!holds(word_addr), "pe", owner_,
                " re-locking an address it already holds: ", word_addr);
@@ -19,6 +20,9 @@ LockDirectory::acquire(Addr word_addr)
         if (slot.state == LockState::EMP) {
             slot.addr = word_addr;
             slot.state = LockState::LCK;
+            if (sink_ != nullptr)
+                sink_->onLockTransition(owner_, word_addr, LockState::EMP,
+                                        LockState::LCK, when);
             return;
         }
     }
@@ -48,10 +52,11 @@ LockDirectory::stateOf(Addr word_addr) const
 }
 
 bool
-LockDirectory::release(Addr word_addr)
+LockDirectory::release(Addr word_addr, Cycles when)
 {
     for (Entry& slot : slots_) {
         if (slot.state != LockState::EMP && slot.addr == word_addr) {
+            const LockState from = slot.state;
             bool had_waiter = slot.state == LockState::LWAIT;
             if (had_waiter && injector_ != nullptr) {
                 // Injected fault: the entry never leaves LWAIT — a ghost
@@ -67,6 +72,9 @@ LockDirectory::release(Addr word_addr)
             }
             slot.state = LockState::EMP;
             slot.addr = kNoAddr;
+            if (sink_ != nullptr)
+                sink_->onLockTransition(owner_, word_addr, from,
+                                        LockState::EMP, when);
             return had_waiter;
         }
     }
@@ -86,13 +94,17 @@ LockDirectory::heldCount() const
 }
 
 bool
-LockDirectory::snoopLockCheck(Addr block_addr, std::uint32_t block_words)
+LockDirectory::snoopLockCheck(Addr block_addr, std::uint32_t block_words,
+                              Cycles when)
 {
     bool hit = false;
     for (Entry& slot : slots_) {
         if (slot.state != LockState::EMP &&
             slot.addr >= block_addr &&
             slot.addr < block_addr + block_words) {
+            if (sink_ != nullptr && slot.state == LockState::LCK)
+                sink_->onLockTransition(owner_, slot.addr, LockState::LCK,
+                                        LockState::LWAIT, when);
             slot.state = LockState::LWAIT;
             hit = true;
         }

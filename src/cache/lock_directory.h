@@ -35,12 +35,12 @@ class LockDirectory : public LockSnooper
     LockDirectory(PeId owner, std::uint32_t entries);
 
     /**
-     * Register a lock on @p word_addr in the LCK state.
-     * Fatal if the directory is full or the word is already locked by
-     * this PE (the KL1 engine locks at most `entries` words, in address
-     * order).
+     * Register a lock on @p word_addr in the LCK state at local time
+     * @p when. Fatal if the directory is full or the word is already
+     * locked by this PE (the KL1 engine locks at most `entries` words,
+     * in address order).
      */
-    void acquire(Addr word_addr);
+    void acquire(Addr word_addr, Cycles when = 0);
 
     /** True if this PE currently holds a lock on @p word_addr. */
     bool holds(Addr word_addr) const;
@@ -49,11 +49,11 @@ class LockDirectory : public LockSnooper
     LockState stateOf(Addr word_addr) const;
 
     /**
-     * Drop the lock on @p word_addr.
+     * Drop the lock on @p word_addr at local time @p when.
      * @return true if the entry was in LWAIT, i.e. a UL broadcast is
      * required.
      */
-    bool release(Addr word_addr);
+    bool release(Addr word_addr, Cycles when = 0);
 
     /** Number of currently held locks. */
     std::uint32_t heldCount() const;
@@ -76,6 +76,13 @@ class LockDirectory : public LockSnooper
         injector_ = injector;
     }
 
+    /**
+     * Attach an observability sink (nullptr to detach): every entry state
+     * change (EMP->LCK on acquire, LCK/LWAIT->EMP on release, LCK->LWAIT
+     * on a remote lock-hit snoop) is reported with this PE as the owner.
+     */
+    void setEventSink(EventSink* sink) { sink_ = sink; }
+
     /** Ghost LWAIT words left behind by injected StuckLwait faults. */
     std::uint32_t ghostCount() const
     {
@@ -86,8 +93,8 @@ class LockDirectory : public LockSnooper
     const std::vector<Addr>& ghostWords() const { return ghosts_; }
 
     // LockSnooper interface -----------------------------------------------
-    bool snoopLockCheck(Addr block_addr,
-                        std::uint32_t block_words) override;
+    bool snoopLockCheck(Addr block_addr, std::uint32_t block_words,
+                        Cycles when) override;
 
   private:
     struct Entry {
@@ -99,6 +106,7 @@ class LockDirectory : public LockSnooper
     std::uint32_t entries_;
     std::vector<Entry> slots_;
     FaultInjector* injector_ = nullptr;
+    EventSink* sink_ = nullptr;
     std::vector<Addr> ghosts_; ///< Stuck-LWAIT words (injected faults).
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/xassert.h"
+#include "obs/event_sink.h"
 
 namespace pim {
 
@@ -133,7 +134,10 @@ PimCache::fetchBlock(Addr block_base, bool invalidate, bool with_lock,
             if (cacheStateDirty(victim->state)) {
                 stats_.swapOuts += 1;
                 bus_.writeBackData(victim->base, blockData(*victim));
+                if (sink_ != nullptr)
+                    sink_->onSwapOut(pe_, victim->base, outcome.doneAt);
             }
+            setState(*victim, CacheState::INV, outcome.doneAt);
         }
         victim->base = block_base;
         victim->state = CacheState::INV; // caller sets the final state
@@ -144,19 +148,34 @@ PimCache::fetchBlock(Addr block_base, bool invalidate, bool with_lock,
     } else if (scratch != nullptr) {
         std::copy(buffer, buffer + config_.geometry.blockWords, scratch);
     }
+    if (sink_ != nullptr)
+        sink_->onCacheFill(pe_, block_base, outcome.supplied,
+                           outcome.supplied && outcome.supplierDirty,
+                           outcome.doneAt);
     return outcome;
 }
 
 void
-PimCache::purgeBlock(Block& block)
+PimCache::purgeBlock(Block& block, Cycles when)
 {
     stats_.purges += 1;
-    if (cacheStateDirty(block.state)) {
+    const bool was_dirty = cacheStateDirty(block.state);
+    if (was_dirty) {
         stats_.purgedDirty += 1;
         bus_.markPurgedDirty(block.base);
     }
-    block.state = CacheState::INV;
+    if (sink_ != nullptr)
+        sink_->onPurge(pe_, block.base, was_dirty, when);
+    setState(block, CacheState::INV, when);
     block.base = kNoAddr;
+}
+
+void
+PimCache::setState(Block& block, CacheState to, Cycles when)
+{
+    if (sink_ != nullptr && block.state != to)
+        sink_->onCacheTransition(pe_, block.base, block.state, to, when);
+    block.state = to;
 }
 
 void
@@ -226,10 +245,11 @@ PimCache::doRead(const MemRef& ref, Cycles now)
     }
     Block& block = *outcome.block;
     if (outcome.supplied) {
-        block.state = outcome.supplierDirty ? CacheState::SM
-                                            : CacheState::S;
+        setState(block, outcome.supplierDirty ? CacheState::SM
+                                              : CacheState::S,
+                 outcome.doneAt);
     } else {
-        block.state = CacheState::EC;
+        setState(block, CacheState::EC, outcome.doneAt);
     }
     result.data = blockData(block)[ref.addr - base];
     result.doneAt = outcome.doneAt;
@@ -247,7 +267,7 @@ PimCache::doWrite(const MemRef& ref, Word wdata, Cycles now)
         // our copy (if any) stays valid and is now the only one.
         if (Block* block = findBlock(base)) {
             blockData(*block)[ref.addr - base] = wdata;
-            block->state = CacheState::EC;
+            setState(*block, CacheState::EC, now);
             touchLru(*block);
         }
         result.doneAt =
@@ -264,7 +284,7 @@ PimCache::doWrite(const MemRef& ref, Word wdata, Cycles now)
         } else {
             result.doneAt = now + config_.hitCycles;
         }
-        block->state = CacheState::EM;
+        setState(*block, CacheState::EM, result.doneAt);
         blockData(*block)[ref.addr - base] = wdata;
         countAccess(ref, false);
         return result;
@@ -279,7 +299,7 @@ PimCache::doWrite(const MemRef& ref, Word wdata, Cycles now)
         return result;
     }
     Block& block = *outcome.block;
-    block.state = CacheState::EM;
+    setState(block, CacheState::EM, outcome.doneAt);
     blockData(block)[ref.addr - base] = wdata;
     result.doneAt = outcome.doneAt;
     countAccess(ref, true);
@@ -295,7 +315,7 @@ PimCache::doLockRead(const MemRef& ref, Cycles now)
 
     if (block != nullptr && cacheStateExclusive(block->state)) {
         // Zero-bus-cycle lock: the paper's key lock optimization.
-        locks_.acquire(ref.addr);
+        locks_.acquire(ref.addr, now + config_.hitCycles);
         touchLru(*block);
         result.data = blockData(*block)[ref.addr - base];
         result.doneAt = now + config_.hitCycles;
@@ -320,11 +340,11 @@ PimCache::doLockRead(const MemRef& ref, Cycles now)
         // If the invalidation dropped a dirty remote copy, its dirtiness
         // migrates here; otherwise keep our own cleanliness.
         if (block->state == CacheState::SM || inv.droppedDirty) {
-            block->state = CacheState::EM;
+            setState(*block, CacheState::EM, inv.completeAt);
         } else {
-            block->state = CacheState::EC;
+            setState(*block, CacheState::EC, inv.completeAt);
         }
-        locks_.acquire(ref.addr);
+        locks_.acquire(ref.addr, inv.completeAt);
         touchLru(*block);
         result.data = blockData(*block)[ref.addr - base];
         result.doneAt = inv.completeAt;
@@ -345,8 +365,10 @@ PimCache::doLockRead(const MemRef& ref, Cycles now)
         return result;
     }
     Block& fetched = *outcome.block;
-    fetched.state = outcome.supplierDirty ? CacheState::EM : CacheState::EC;
-    locks_.acquire(ref.addr);
+    setState(fetched, outcome.supplierDirty ? CacheState::EM
+                                            : CacheState::EC,
+             outcome.doneAt);
+    locks_.acquire(ref.addr, outcome.doneAt);
     result.data = blockData(fetched)[ref.addr - base];
     result.doneAt = outcome.doneAt;
     countAccess(ref, true);
@@ -368,7 +390,7 @@ PimCache::doUnlock(const MemRef& ref, bool write, Word wdata, Cycles now)
     if (write && config_.writeThrough) {
         if (block != nullptr) {
             blockData(*block)[ref.addr - base] = wdata;
-            block->state = CacheState::EC;
+            setState(*block, CacheState::EC, now);
             touchLru(*block);
         }
         when = bus_.writeWordThrough(pe_, ref.addr, wdata, now, ref.area);
@@ -383,19 +405,20 @@ PimCache::doUnlock(const MemRef& ref, bool write, Word wdata, Cycles now)
                        "UW inhibited by a foreign lock in a block this PE "
                        "holds locked");
             block = outcome.block;
-            block->state = outcome.supplierDirty ? CacheState::EM
-                                                 : CacheState::EC;
+            setState(*block, outcome.supplierDirty ? CacheState::EM
+                                                   : CacheState::EC,
+                     outcome.doneAt);
             when = outcome.doneAt;
             miss = true;
         }
         PIM_ASSERT(cacheStateExclusive(block->state),
                    "locked block unexpectedly shared on UW");
-        block->state = CacheState::EM;
+        setState(*block, CacheState::EM, when);
         blockData(*block)[ref.addr - base] = wdata;
         touchLru(*block);
     }
 
-    const bool had_waiter = locks_.release(ref.addr);
+    const bool had_waiter = locks_.release(ref.addr, when);
     stats_.unlockCount += 1;
     if (had_waiter) {
         result.doneAt = bus_.unlockBroadcast(pe_, ref.addr, when, ref.area);
@@ -436,10 +459,13 @@ PimCache::doDirectWrite(const MemRef& ref, Word wdata, bool downward,
             stats_.dwSwapOutOnly += 1;
             done = bus_.swapOutOnly(pe_, victim.base, blockData(victim), now,
                                     ref.area);
+            if (sink_ != nullptr)
+                sink_->onSwapOut(pe_, victim.base, done);
         }
+        setState(victim, CacheState::INV, done);
     }
     victim.base = base;
-    victim.state = CacheState::EM;
+    setState(victim, CacheState::EM, done);
     touchLru(victim);
     Word* words = blockData(victim);
     std::fill(words, words + config_.geometry.blockWords, Word{0});
@@ -464,7 +490,7 @@ PimCache::doExclusiveRead(const MemRef& ref, Cycles now)
         AccessResult result;
         result.data = blockData(*block)[ref.addr - base];
         stats_.erAsRp += 1;
-        purgeBlock(*block);
+        purgeBlock(*block, now + config_.hitCycles);
         result.doneAt = now + config_.hitCycles;
         countAccess(ref, false);
         return result;
@@ -482,8 +508,9 @@ PimCache::doExclusiveRead(const MemRef& ref, Cycles now)
             return result;
         }
         Block& fetched = *outcome.block;
-        fetched.state = outcome.supplierDirty ? CacheState::EM
-                                              : CacheState::EC;
+        setState(fetched, outcome.supplierDirty ? CacheState::EM
+                                                : CacheState::EC,
+                 outcome.doneAt);
         result.data = blockData(fetched)[ref.addr - base];
         result.doneAt = outcome.doneAt;
         stats_.erAsRi += 1;
@@ -505,7 +532,7 @@ PimCache::doReadPurge(const MemRef& ref, Cycles now)
     if (Block* block = findBlock(base)) {
         // Case (i): read, then purge our own copy.
         result.data = blockData(*block)[ref.addr - base];
-        purgeBlock(*block);
+        purgeBlock(*block, now + config_.hitCycles);
         result.doneAt = now + config_.hitCycles;
         countAccess(ref, false);
         return result;
@@ -551,7 +578,8 @@ PimCache::doReadInvalidate(const MemRef& ref, Cycles now)
         return result;
     }
     Block& block = *outcome.block;
-    block.state = outcome.supplierDirty ? CacheState::EM : CacheState::EC;
+    setState(block, outcome.supplierDirty ? CacheState::EM : CacheState::EC,
+             outcome.doneAt);
     result.data = blockData(block)[ref.addr - base];
     result.doneAt = outcome.doneAt;
     stats_.riExclusive += 1;
@@ -595,7 +623,8 @@ PimCache::loadValue(Addr addr) const
 }
 
 BusSnooper::FetchReply
-PimCache::snoopFetch(Addr block_addr, bool invalidate, Word* data_out)
+PimCache::snoopFetch(Addr block_addr, bool invalidate, Word* data_out,
+                     Cycles when)
 {
     Block* block = findBlock(block_addr);
     if (block == nullptr)
@@ -606,7 +635,7 @@ PimCache::snoopFetch(Addr block_addr, bool invalidate, Word* data_out)
     const bool was_dirty = cacheStateDirty(block->state);
 
     if (invalidate) {
-        block->state = CacheState::INV;
+        setState(*block, CacheState::INV, when);
         block->base = kNoAddr;
         return {true, was_dirty};
     }
@@ -615,22 +644,22 @@ PimCache::snoopFetch(Addr block_addr, bool invalidate, Word* data_out)
         // Illinois-style baseline: shared memory snarfs the transfer, the
         // block becomes clean everywhere (no SM state).
         bus_.writeBackData(block_addr, blockData(*block));
-        block->state = CacheState::S;
+        setState(*block, CacheState::S, when);
         return {true, false};
     }
 
-    block->state = CacheState::S;
+    setState(*block, CacheState::S, when);
     return {true, was_dirty};
 }
 
 bool
-PimCache::snoopInvalidate(Addr block_addr)
+PimCache::snoopInvalidate(Addr block_addr, Cycles when)
 {
     Block* block = findBlock(block_addr);
     if (block == nullptr)
         return false;
     const bool was_dirty = cacheStateDirty(block->state);
-    block->state = CacheState::INV;
+    setState(*block, CacheState::INV, when);
     block->base = kNoAddr;
     return was_dirty;
 }

@@ -82,6 +82,18 @@ class PimCache : public BusSnooper
         locks_.setFaultInjector(injector);
     }
 
+    /**
+     * Attach an observability sink (nullptr to detach), shared with the
+     * lock directory. Reports block state transitions, fills (with the
+     * cache-to-cache vs memory distinction), swap-outs and purges.
+     */
+    void
+    setEventSink(EventSink* sink)
+    {
+        sink_ = sink;
+        locks_.setEventSink(sink);
+    }
+
     LockDirectory& lockDirectory() { return locks_; }
     const LockDirectory& lockDirectory() const { return locks_; }
     CacheStats& stats() { return stats_; }
@@ -90,9 +102,9 @@ class PimCache : public BusSnooper
     PeId pe() const { return pe_; }
 
     // -- BusSnooper interface ---------------------------------------------
-    FetchReply snoopFetch(Addr block_addr, bool invalidate,
-                          Word* data_out) override;
-    bool snoopInvalidate(Addr block_addr) override;
+    FetchReply snoopFetch(Addr block_addr, bool invalidate, Word* data_out,
+                          Cycles when) override;
+    bool snoopInvalidate(Addr block_addr, Cycles when) override;
 
   private:
     struct Block {
@@ -133,7 +145,10 @@ class PimCache : public BusSnooper
                             Cycles now, Area area);
 
     /** Purge our own copy without copy-back (the ER/RP path). */
-    void purgeBlock(Block& block);
+    void purgeBlock(Block& block, Cycles when);
+
+    /** Assign @p block's state, reporting the transition to the sink. */
+    void setState(Block& block, CacheState to, Cycles when);
 
     AccessResult doRead(const MemRef& ref, Cycles now);
     AccessResult doWrite(const MemRef& ref, Word wdata, Cycles now);
@@ -152,6 +167,7 @@ class PimCache : public BusSnooper
     CacheConfig config_;
     Bus& bus_;
     FaultInjector* injector_ = nullptr;
+    EventSink* sink_ = nullptr;
     LockDirectory locks_;
     CacheStats stats_;
     std::uint64_t lruTick_ = 0;

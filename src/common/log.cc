@@ -8,11 +8,12 @@ namespace pim {
 
 namespace {
 
+/** Parse PIM_LOG once at startup: a level name or a number 0-4. */
 LogLevel
 initialLevel()
 {
     const char* env = std::getenv("PIM_LOG");
-    if (env == nullptr)
+    if (env == nullptr || env[0] == '\0')
         return LogLevel::Warn;
     if (std::strcmp(env, "error") == 0)
         return LogLevel::Error;
@@ -24,10 +25,17 @@ initialLevel()
         return LogLevel::Debug;
     if (std::strcmp(env, "trace") == 0)
         return LogLevel::Trace;
+    if (env[0] >= '0' && env[0] <= '4' && env[1] == '\0')
+        return static_cast<LogLevel>(env[0] - '0');
+    std::fprintf(stderr,
+                 "[0 WARN] PIM_LOG='%s' not recognized (want error, "
+                 "warn, info, debug, trace or 0-4); using warn\n",
+                 env);
     return LogLevel::Warn;
 }
 
 LogLevel gLevel = initialLevel();
+std::uint64_t gSequence = 0; ///< Next line's sequence number.
 
 const char*
 levelName(LogLevel level)
@@ -56,10 +64,25 @@ setLogLevel(LogLevel level)
     gLevel = level;
 }
 
-void
-logLine(LogLevel level, const std::string& msg)
+std::uint64_t
+logSequence()
 {
-    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+    return gSequence;
+}
+
+void
+logLine(LogLevel level, const std::string& msg, int pe)
+{
+    const std::uint64_t seq = gSequence++;
+    if (pe >= 0) {
+        std::fprintf(stderr, "[%llu %s pe%d] %s\n",
+                     static_cast<unsigned long long>(seq),
+                     levelName(level), pe, msg.c_str());
+    } else {
+        std::fprintf(stderr, "[%llu %s] %s\n",
+                     static_cast<unsigned long long>(seq),
+                     levelName(level), msg.c_str());
+    }
 }
 
 } // namespace pim

@@ -3,13 +3,22 @@
  * Minimal leveled logging to stderr.
  *
  * Level is process global and settable from the PIM_LOG environment
- * variable (error, warn, info, debug, trace). Defaults to warn so tests
- * and benches stay quiet.
+ * variable, parsed once at startup: the names error, warn, info, debug,
+ * trace, or the equivalent numbers 0-4 (see README "Logging"). Defaults
+ * to warn so tests and benches stay quiet.
+ *
+ * Every line carries a process-wide monotonic sequence number so
+ * interleaved multi-PE debug output can be ordered after the fact, and
+ * the PE-tagged variants (PIM_PE_DEBUG etc.) attribute a line to the
+ * processor whose model emitted it:
+ *
+ *   [42 DEBUG pe3] fetch block 0x40 -> EC
  */
 
 #ifndef PIMCACHE_COMMON_LOG_H_
 #define PIMCACHE_COMMON_LOG_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -29,8 +38,25 @@ LogLevel logLevel();
 /** Override the global log level. */
 void setLogLevel(LogLevel level);
 
-/** Emit one log line (no newline needed) if level is enabled. */
-void logLine(LogLevel level, const std::string& msg);
+/** Sequence number the next log line will carry. */
+std::uint64_t logSequence();
+
+/**
+ * Emit one log line (no newline needed) if level is enabled, stamped
+ * with the next sequence number. @p pe tags the line with the emitting
+ * processor; pass kLogNoPe for untagged lines.
+ */
+void logLine(LogLevel level, const std::string& msg, int pe);
+
+/** "No PE" tag for logLine. */
+inline constexpr int kLogNoPe = -1;
+
+/** Emit an untagged log line. */
+inline void
+logLine(LogLevel level, const std::string& msg)
+{
+    logLine(level, msg, kLogNoPe);
+}
 
 /** True if a message at @p level would be emitted. */
 inline bool
@@ -54,5 +80,22 @@ logEnabled(LogLevel level)
 #define PIM_WARN(...)  PIM_LOG(::pim::LogLevel::Warn, __VA_ARGS__)
 #define PIM_DEBUG(...) PIM_LOG(::pim::LogLevel::Debug, __VA_ARGS__)
 #define PIM_TRACE(...) PIM_LOG(::pim::LogLevel::Trace, __VA_ARGS__)
+
+/** PE-tagged variants: PIM_PE_LOG(level, pe, ...). */
+#define PIM_PE_LOG(level, pe, ...)                                          \
+    do {                                                                    \
+        if (::pim::logEnabled(level)) {                                     \
+            std::ostringstream os_;                                         \
+            os_ << __VA_ARGS__;                                             \
+            ::pim::logLine(level, os_.str(), static_cast<int>(pe));         \
+        }                                                                   \
+    } while (0)
+
+#define PIM_PE_INFO(pe, ...)                                                \
+    PIM_PE_LOG(::pim::LogLevel::Info, pe, __VA_ARGS__)
+#define PIM_PE_DEBUG(pe, ...)                                               \
+    PIM_PE_LOG(::pim::LogLevel::Debug, pe, __VA_ARGS__)
+#define PIM_PE_TRACE(pe, ...)                                               \
+    PIM_PE_LOG(::pim::LogLevel::Trace, pe, __VA_ARGS__)
 
 #endif // PIMCACHE_COMMON_LOG_H_

@@ -86,6 +86,18 @@ Options::getIntEnv(const std::string& name, const char* env_name,
     return envInt(env_name, fallback);
 }
 
+std::string
+Options::getStringEnv(const std::string& name, const char* env_name,
+                      const std::string& fallback) const
+{
+    if (has(name))
+        return getString(name, fallback);
+    const char* value = std::getenv(env_name);
+    if (value == nullptr || value[0] == '\0')
+        return fallback;
+    return value;
+}
+
 std::int64_t
 envInt(const char* name, std::int64_t fallback)
 {

@@ -59,6 +59,13 @@ class Options
     std::int64_t getIntEnv(const std::string& name, const char* env_name,
                            std::int64_t fallback) const;
 
+    /**
+     * Environment fallback: value of --name if present, else env var
+     * @p env_name, else @p fallback.
+     */
+    std::string getStringEnv(const std::string& name, const char* env_name,
+                             const std::string& fallback = "") const;
+
   private:
     std::map<std::string, std::string> values_;
     std::vector<std::string> positional_;

@@ -1,0 +1,268 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace pim {
+
+namespace {
+
+/** Render a small args object from key/value pairs already formatted. */
+std::string
+argsObject(std::initializer_list<std::pair<const char*, std::string>> kvs)
+{
+    std::ostringstream os;
+    JsonWriter json(os, /*pretty=*/false);
+    json.beginObject();
+    for (const auto& [key, value] : kvs) {
+        json.key(key);
+        json.rawValue(value); // pre-rendered JSON scalar
+    }
+    json.endObject();
+    return os.str();
+}
+
+std::string
+num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+str(const char* v)
+{
+    return JsonWriter::quote(v);
+}
+
+} // namespace
+
+void
+TimelineRecorder::push(char phase, std::uint32_t tid, Cycles ts,
+                       std::string name, const char* cat, std::string args)
+{
+    if (phase == 'B') {
+        open_[tid].push_back(name);
+    } else if (phase == 'E') {
+        auto& stack = open_[tid];
+        if (stack.empty())
+            return; // end without begin (e.g. wake of an unseen park)
+        stack.pop_back();
+    }
+    lastTs_[tid] = std::max(lastTs_[tid], ts);
+    events_.push_back(Event{phase, tid, ts, std::move(name), cat,
+                            std::move(args)});
+}
+
+void
+TimelineRecorder::onBusTransaction(const BusTxnEvent& event)
+{
+    std::string args = argsObject({
+        {"pe", num(event.requester)},
+        {"block", num(event.blockAddr)},
+        {"area", str(areaName(event.area))},
+        {"cmd", str(event.hasCmd ? busCmdName(event.cmd) : "-")},
+        {"requested", num(event.requestedAt)},
+        {"wait", num(event.startedAt - event.requestedAt)},
+        {"beats", num(event.dataBeats)},
+        {"lock_hit", event.lockHit ? "true" : "false"},
+        {"c2c", event.supplied ? "true" : "false"},
+    });
+    push('B', kBusTid, event.startedAt, busPatternName(event.pattern),
+         "bus", std::move(args));
+    push('E', kBusTid, event.completedAt, busPatternName(event.pattern),
+         "bus");
+}
+
+void
+TimelineRecorder::onCacheTransition(PeId pe, Addr block_addr,
+                                    CacheState from, CacheState to,
+                                    Cycles when)
+{
+    maxPe_ = std::max(maxPe_, pe);
+    sawPe_ = true;
+    push('i', peTid(pe), when,
+         std::string(cacheStateName(from)) + "->" + cacheStateName(to),
+         "state", argsObject({{"block", num(block_addr)}}));
+}
+
+void
+TimelineRecorder::onCacheFill(PeId pe, Addr block_addr, bool from_cache,
+                              bool dirty, Cycles when)
+{
+    maxPe_ = std::max(maxPe_, pe);
+    sawPe_ = true;
+    push('i', peTid(pe), when, "fill", "cache",
+         argsObject({{"block", num(block_addr)},
+                     {"src", str(from_cache ? "c2c" : "mem")},
+                     {"dirty", dirty ? "true" : "false"}}));
+}
+
+void
+TimelineRecorder::onSwapOut(PeId pe, Addr block_addr, Cycles when)
+{
+    maxPe_ = std::max(maxPe_, pe);
+    sawPe_ = true;
+    push('i', peTid(pe), when, "swap-out", "cache",
+         argsObject({{"block", num(block_addr)}}));
+}
+
+void
+TimelineRecorder::onPurge(PeId pe, Addr block_addr, bool was_dirty,
+                          Cycles when)
+{
+    maxPe_ = std::max(maxPe_, pe);
+    sawPe_ = true;
+    push('i', peTid(pe), when, "purge", "cache",
+         argsObject({{"block", num(block_addr)},
+                     {"dirty", was_dirty ? "true" : "false"}}));
+}
+
+void
+TimelineRecorder::onLockTransition(PeId owner, Addr word_addr,
+                                   LockState from, LockState to,
+                                   Cycles when)
+{
+    maxPe_ = std::max(maxPe_, owner);
+    sawPe_ = true;
+    push('i', peTid(owner), when,
+         std::string(lockStateName(from)) + "->" + lockStateName(to),
+         "lockdir", argsObject({{"word", num(word_addr)}}));
+}
+
+void
+TimelineRecorder::onPark(PeId pe, Addr block_addr, Cycles when)
+{
+    maxPe_ = std::max(maxPe_, pe);
+    sawPe_ = true;
+    push('B', peTid(pe), when, "lock-wait", "lock",
+         argsObject({{"block", num(block_addr)}}));
+}
+
+void
+TimelineRecorder::onWake(PeId pe, Addr block_addr, Cycles when)
+{
+    (void)block_addr;
+    maxPe_ = std::max(maxPe_, pe);
+    sawPe_ = true;
+    push('E', peTid(pe), when, "lock-wait", "lock");
+}
+
+void
+TimelineRecorder::onAccessBegin(PeId pe, MemOp op, Addr addr, Area area,
+                                Cycles when)
+{
+    maxPe_ = std::max(maxPe_, pe);
+    sawPe_ = true;
+    push('B', peTid(pe), when, memOpName(op), "access",
+         argsObject({{"addr", num(addr)},
+                     {"area", str(areaName(area))}}));
+}
+
+void
+TimelineRecorder::onAccessEnd(PeId pe, MemOp op, Addr addr, Area area,
+                              Cycles start, Cycles end, bool lock_wait)
+{
+    (void)addr;
+    (void)area;
+    (void)start;
+    push('E', peTid(pe), end, memOpName(op), "access",
+         argsObject({{"lock_wait", lock_wait ? "true" : "false"}}));
+}
+
+void
+TimelineRecorder::clear()
+{
+    events_.clear();
+    open_.clear();
+    lastTs_.clear();
+    maxPe_ = 0;
+    sawPe_ = false;
+}
+
+void
+TimelineRecorder::write(std::ostream& os)
+{
+    // Close anything a fault left open so every B has a matching E.
+    for (auto& [tid, stack] : open_) {
+        while (!stack.empty()) {
+            events_.push_back(Event{'E', tid, lastTs_[tid], stack.back(),
+                                    "aborted", ""});
+            stack.pop_back();
+        }
+    }
+
+    // Durations are recorded in non-decreasing timestamp order per track
+    // (PE clocks and the bus's free time are monotonic), but snoop-induced
+    // instants land on the victim PE's track stamped with bus time, which
+    // can run ahead of that PE's local clock. A stable sort by timestamp
+    // restores global order without disturbing B/E pairing.
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const Event& a, const Event& b) {
+                         return a.ts < b.ts;
+                     });
+
+    JsonWriter json(os, /*pretty=*/false);
+    json.beginObject();
+    json.key("traceEvents");
+    json.beginArray();
+
+    auto meta = [&](std::uint32_t tid, const std::string& name) {
+        json.beginObject();
+        json.field("name", "thread_name");
+        json.field("ph", "M");
+        json.field("pid", std::uint64_t{0});
+        json.field("tid", static_cast<std::uint64_t>(tid));
+        json.key("args");
+        json.beginObject();
+        json.field("name", name);
+        json.endObject();
+        json.endObject();
+    };
+    meta(kBusTid, "bus");
+    if (sawPe_) {
+        for (std::uint32_t pe = 0; pe <= maxPe_; ++pe)
+            meta(peTid(pe), "pe" + std::to_string(pe));
+    }
+
+    for (const Event& event : events_) {
+        json.beginObject();
+        json.field("name", event.name);
+        json.field("cat", event.cat);
+        json.field("ph", std::string(1, event.phase));
+        json.field("ts", static_cast<std::uint64_t>(event.ts));
+        json.field("pid", std::uint64_t{0});
+        json.field("tid", static_cast<std::uint64_t>(event.tid));
+        if (event.phase == 'i')
+            json.field("s", "t"); // thread-scoped instant
+        if (!event.args.empty()) {
+            json.key("args");
+            json.rawValue(event.args);
+        }
+        json.endObject();
+    }
+
+    json.endArray();
+    json.field("displayTimeUnit", "ns");
+    json.key("otherData");
+    json.beginObject();
+    json.field("tool", "pimcache");
+    json.field("time_unit", "bus cycles (1 cycle = 1us tick)");
+    json.endObject();
+    json.endObject();
+    os << "\n";
+}
+
+bool
+TimelineRecorder::writeFile(const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    write(out);
+    return out.good();
+}
+
+} // namespace pim

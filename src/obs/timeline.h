@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Chrome trace-event timeline recorder (docs/OBSERVABILITY.md).
+ *
+ * Records every EventSink event as a Chrome trace-event JSON document
+ * loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: one track
+ * (tid) per PE carrying the memory-operation durations, lock-wait
+ * durations and instant markers (state transitions, fills, purges, lock
+ * transitions), plus a dedicated bus track (tid 0) carrying one duration
+ * event per bus transaction. Timestamps are simulated cycles, written as
+ * the trace's microsecond field (1 cycle == 1 us tick).
+ *
+ * write() emits events in non-decreasing timestamp order (duration
+ * events are recorded that way already — PE clocks and the bus's free
+ * time are monotonic — and snoop instants, which carry bus time, are
+ * stable-sorted into place), and every "B" begin has a matching "E"
+ * end: write() closes any durations left open by an aborted run (e.g. a
+ * PE still parked when a fault unwound the system).
+ */
+
+#ifndef PIMCACHE_OBS_TIMELINE_H_
+#define PIMCACHE_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/event_sink.h"
+
+namespace pim {
+
+/** EventSink that renders the run as a Perfetto-loadable timeline. */
+class TimelineRecorder final : public EventSink
+{
+  public:
+    TimelineRecorder() = default;
+
+    /** Events recorded so far (duration pairs count twice). */
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** Serialize the timeline as Chrome trace-event JSON. */
+    void write(std::ostream& os);
+
+    /** write() to @p path. @return false if the file cannot be opened. */
+    bool writeFile(const std::string& path);
+
+    /** Drop all recorded events (e.g. between measurement phases). */
+    void clear();
+
+    // -- EventSink ---------------------------------------------------------
+    void onBusTransaction(const BusTxnEvent& event) override;
+    void onCacheTransition(PeId pe, Addr block_addr, CacheState from,
+                           CacheState to, Cycles when) override;
+    void onCacheFill(PeId pe, Addr block_addr, bool from_cache, bool dirty,
+                     Cycles when) override;
+    void onSwapOut(PeId pe, Addr block_addr, Cycles when) override;
+    void onPurge(PeId pe, Addr block_addr, bool was_dirty,
+                 Cycles when) override;
+    void onLockTransition(PeId owner, Addr word_addr, LockState from,
+                          LockState to, Cycles when) override;
+    void onPark(PeId pe, Addr block_addr, Cycles when) override;
+    void onWake(PeId pe, Addr block_addr, Cycles when) override;
+    void onAccessBegin(PeId pe, MemOp op, Addr addr, Area area,
+                       Cycles when) override;
+    void onAccessEnd(PeId pe, MemOp op, Addr addr, Area area, Cycles start,
+                     Cycles end, bool lock_wait) override;
+
+  private:
+    /** The bus track; PE p maps to tid p + 1. */
+    static constexpr std::uint32_t kBusTid = 0;
+
+    struct Event {
+        char phase = 'i';     ///< 'B', 'E' or 'i'.
+        std::uint32_t tid = 0;
+        Cycles ts = 0;
+        std::string name;
+        std::string cat;
+        /** Pre-rendered JSON args object ("" = none). */
+        std::string args;
+    };
+
+    static std::uint32_t peTid(PeId pe) { return pe + 1; }
+
+    void push(char phase, std::uint32_t tid, Cycles ts, std::string name,
+              const char* cat, std::string args = "");
+
+    std::vector<Event> events_;
+    std::uint32_t maxPe_ = 0;
+    bool sawPe_ = false;
+    /** Open duration-event names per track, for auto-close on write(). */
+    std::map<std::uint32_t, std::vector<std::string>> open_;
+    /** Last timestamp seen per track (auto-close position). */
+    std::map<std::uint32_t, Cycles> lastTs_;
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_OBS_TIMELINE_H_

@@ -1,0 +1,176 @@
+#include "sim/report_json.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace pim {
+
+namespace {
+
+double
+ratio(double part, double whole)
+{
+    return whole == 0.0 ? 0.0 : part / whole;
+}
+
+void
+writeAreas(const System& system, JsonWriter& json)
+{
+    const RefStats& refs = system.refStats();
+    const BusStats& bus = system.bus().stats();
+    json.beginObject();
+    json.key("by_area");
+    json.beginArray();
+    for (int a = 0; a < kNumAreas; ++a) {
+        const Area area = static_cast<Area>(a);
+        json.beginObject();
+        json.field("area", areaName(area));
+        json.field("refs", refs.areaTotal(area));
+        json.field("bus_cycles",
+                   static_cast<std::uint64_t>(bus.cyclesByArea[a]));
+        json.endObject();
+    }
+    json.endArray();
+    json.field("total_refs", refs.total());
+    json.field("total_bus_cycles",
+               static_cast<std::uint64_t>(bus.totalCycles));
+    json.endObject();
+}
+
+void
+writeOperations(const System& system, JsonWriter& json)
+{
+    const RefStats& refs = system.refStats();
+    json.beginObject();
+    json.key("by_op");
+    json.beginArray();
+    for (int o = 0; o < kNumMemOps; ++o) {
+        const MemOp op = static_cast<MemOp>(o);
+        const std::uint64_t count = refs.opTotal(op);
+        if (count == 0)
+            continue;
+        json.beginObject();
+        json.field("op", memOpName(op));
+        json.field("count", count);
+        json.field("data_count", count - refs.count(Area::Instruction, op));
+        json.endObject();
+    }
+    json.endArray();
+    json.field("total", refs.total());
+    json.field("data_total", refs.dataTotal());
+    json.endObject();
+}
+
+void
+writeBusPatterns(const System& system, JsonWriter& json)
+{
+    const BusStats& bus = system.bus().stats();
+    json.beginObject();
+    json.key("by_pattern");
+    json.beginArray();
+    for (int p = 0; p < kNumBusPatterns; ++p) {
+        if (bus.transByPattern[p] == 0)
+            continue;
+        json.beginObject();
+        json.field("pattern", busPatternName(static_cast<BusPattern>(p)));
+        json.field("transactions", bus.transByPattern[p]);
+        json.field("cycles",
+                   static_cast<std::uint64_t>(bus.cyclesByPattern[p]));
+        json.endObject();
+    }
+    json.endArray();
+    json.field("total_cycles", static_cast<std::uint64_t>(bus.totalCycles));
+    json.endObject();
+}
+
+void
+writeCacheSummary(const System& system, JsonWriter& json)
+{
+    const CacheStats cache = system.totalCacheStats();
+    const BusStats& bus = system.bus().stats();
+    json.beginObject();
+    json.field("accesses", cache.accesses);
+    json.field("misses", cache.misses);
+    json.field("miss_ratio", cache.missRatio());
+    json.field("evictions", cache.evictions);
+    json.field("swap_outs", cache.swapOuts);
+    json.field("dw_alloc_no_fetch", cache.dwAllocNoFetch);
+    json.field("dw_demoted", cache.dwDemoted);
+    json.field("er_as_ri", cache.erAsRi);
+    json.field("er_as_rp", cache.erAsRp);
+    json.field("purges", cache.purges);
+    json.field("memory_busy_cycles",
+               static_cast<std::uint64_t>(bus.memoryBusyCycles));
+    json.field("memory_reads", bus.memoryReads);
+    json.field("memory_writes", bus.memoryWrites);
+    json.field("stale_fetches", bus.staleFetches);
+    json.endObject();
+}
+
+void
+writeLocks(const System& system, JsonWriter& json)
+{
+    const CacheStats cache = system.totalCacheStats();
+    const BusStats& bus = system.bus().stats();
+    json.beginObject();
+    json.field("lr_count", cache.lrCount);
+    json.field("lr_hit_ratio",
+               ratio(static_cast<double>(cache.lrHit),
+                     static_cast<double>(cache.lrCount)));
+    json.field("lr_hit_exclusive_ratio",
+               ratio(static_cast<double>(cache.lrHitExclusive),
+                     static_cast<double>(cache.lrCount)));
+    json.field("lr_lock_waits", cache.lrLockWaits);
+    json.field("unlocks", cache.unlockCount);
+    json.field("unlock_no_waiter_ratio",
+               ratio(static_cast<double>(cache.unlockNoWaiter),
+                     static_cast<double>(cache.unlockCount)));
+    json.field("ul_broadcasts",
+               bus.cmdCounts[static_cast<int>(BusCmd::UL)]);
+    json.endObject();
+}
+
+} // namespace
+
+void
+reportAllJson(const System& system, JsonWriter& json)
+{
+    json.beginObject();
+    json.field("num_pes", static_cast<std::uint64_t>(system.numPes()));
+    json.field("makespan", static_cast<std::uint64_t>(system.makespan()));
+    json.key("areas");
+    writeAreas(system, json);
+    json.key("operations");
+    writeOperations(system, json);
+    json.key("bus_patterns");
+    writeBusPatterns(system, json);
+    json.key("cache_summary");
+    writeCacheSummary(system, json);
+    json.key("locks");
+    writeLocks(system, json);
+    json.endObject();
+}
+
+std::string
+reportAllJson(const System& system)
+{
+    std::ostringstream os;
+    JsonWriter json(os, /*pretty=*/true);
+    reportAllJson(system, json);
+    os << "\n";
+    return os.str();
+}
+
+bool
+reportAllJsonFile(const System& system, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << reportAllJson(system);
+    return out.good();
+}
+
+} // namespace pim

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Machine-readable counterparts of the sim/report.h ASCII tables.
+ *
+ * reportAllJson serializes the same numbers the five standard reports
+ * print — references and bus cycles by area, references by operation,
+ * bus patterns, cache and lock summaries — as one JSON document, with
+ * raw counts instead of formatted strings so downstream tooling never
+ * re-parses table text. Ratios that the ASCII tables round (miss ratio,
+ * LR hit ratio) are emitted unrounded.
+ */
+
+#ifndef PIMCACHE_SIM_REPORT_JSON_H_
+#define PIMCACHE_SIM_REPORT_JSON_H_
+
+#include <ostream>
+#include <string>
+
+#include "sim/system.h"
+
+namespace pim {
+
+class JsonWriter;
+
+/** Write all five standard reports as one JSON object to @p json. */
+void reportAllJson(const System& system, JsonWriter& json);
+
+/** reportAllJson as a pretty-printed document string. */
+std::string reportAllJson(const System& system);
+
+/** reportAllJson to @p path. @return false if the file cannot open. */
+bool reportAllJsonFile(const System& system, const std::string& path);
+
+} // namespace pim
+
+#endif // PIMCACHE_SIM_REPORT_JSON_H_

@@ -7,6 +7,8 @@
 #include "common/rng.h"
 #include "common/strutil.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "sim/system.h"
 #include "trace/trace_file.h"
 #include "verify/coherence_auditor.h"
@@ -128,6 +130,17 @@ runStress(const StressConfig& config)
         system.addAccessObserver(&auditor);
     LockWatchdog watchdog(system, config.watchdog);
     system.addAccessObserver(&watchdog);
+
+    // Observability: the metrics registry always rides along (it is the
+    // event-hook cross-check below); the timeline recorder only when a
+    // dump could be wanted (it records every event individually).
+    MetricsRegistry metrics;
+    system.addEventSink(&metrics);
+    TimelineRecorder timeline;
+    const bool want_timeline =
+        !config.timelineOut.empty() || !config.traceOut.empty();
+    if (want_timeline)
+        system.addEventSink(&timeline);
 
     std::vector<MemRef> trace;
     trace.reserve(std::min<std::uint64_t>(config.steps, 1u << 20));
@@ -283,6 +296,22 @@ runStress(const StressConfig& config)
 
         if (config.audit)
             auditor.auditFull();
+
+        // Event-hook cross-check: every bus transaction the stats counted
+        // must have been reported to the event sinks exactly once. A
+        // mismatch means an emission site was missed (or fired twice) —
+        // the observability layer is lying about the run.
+        std::uint64_t trans_by_stats = 0;
+        for (int p = 0; p < kNumBusPatterns; ++p)
+            trans_by_stats += system.bus().stats().transByPattern[p];
+        const std::uint64_t trans_by_events =
+            metrics.counter("bus.transactions");
+        if (trans_by_events != trans_by_stats) {
+            throw PIM_SIM_FAULT(
+                SimFaultKind::Protocol, "event-hook cross-check: BusStats "
+                "counted ", trans_by_stats, " transactions but the event "
+                "sink observed ", trans_by_events);
+        }
     } catch (const SimFault& fault) {
         result.failed = true;
         result.kind = fault.kind();
@@ -296,6 +325,16 @@ runStress(const StressConfig& config)
             writer.close();
             result.traceRecords = writer.recordsWritten();
         }
+    }
+
+    if (want_timeline && (!config.timelineOut.empty() || result.failed)) {
+        // Timeline lands where asked, or next to the failure PIMTRACE.
+        std::string path = config.timelineOut;
+        if (path.empty())
+            path = config.traceOut + ".timeline.json";
+        result.timelineEvents = timeline.eventCount();
+        if (timeline.writeFile(path))
+            result.timelinePath = path;
     }
 
     result.auditChecks = auditor.checksRun();

@@ -39,6 +39,15 @@ struct StressConfig {
     std::uint32_t optPct = 15;   ///< DW/ER/RP producer-consumer share.
     std::string planSpec;        ///< FaultPlan::parse spec ("" = none).
     std::string traceOut;        ///< Trace dump path on failure ("" = off).
+    /**
+     * Timeline dump path (docs/OBSERVABILITY.md). When set, the Chrome
+     * trace-event timeline of the run is written here — always, not only
+     * on failure. When unset but traceOut is set, a failing run still
+     * dumps its timeline next to the PIMTRACE as
+     * "<traceOut>.timeline.json". Does not affect the simulation, so it
+     * is not part of the replay line.
+     */
+    std::string timelineOut;
     bool audit = true;           ///< Attach the CoherenceAuditor.
     WatchdogConfig watchdog;
 
@@ -64,6 +73,8 @@ struct StressResult {
     Cycles makespan = 0;
     std::string injectorSummary;    ///< Per-site fires/opportunities.
     std::uint64_t traceRecords = 0; ///< Records dumped (failure + traceOut).
+    std::uint64_t timelineEvents = 0; ///< Timeline events recorded.
+    std::string timelinePath;       ///< Where the timeline landed ("").
 };
 
 /**

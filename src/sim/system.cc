@@ -126,14 +126,26 @@ System::access(PeId pe, MemOp op, Addr addr, Area area, Word wdata)
     for (AccessObserver* obs : observers_)
         obs->beforeAccess(pe, ref.op, addr, area);
 
+    const Cycles startedAt = clock_[pe];
+    if (sink_ != nullptr)
+        sink_->onAccessBegin(pe, ref.op, addr, area, startedAt);
+
     const PimCache::AccessResult result =
         caches_[pe]->access(ref, wdata, clock_[pe]);
     clock_[pe] = result.doneAt;
+
+    // Close the operation before the observers run: an auditor throwing
+    // SimFault out of afterAccess must not leave the event dangling.
+    if (sink_ != nullptr)
+        sink_->onAccessEnd(pe, ref.op, addr, area, startedAt, result.doneAt,
+                           result.lockWait);
 
     Access out;
     if (result.lockWait) {
         parkedOn_[pe] = result.waitAddr;
         out.lockWait = true;
+        if (sink_ != nullptr)
+            sink_->onPark(pe, result.waitAddr, result.doneAt);
     } else {
         refStats_.record(ref);
         if (refObserver_)
@@ -153,8 +165,11 @@ System::access(PeId pe, MemOp op, Addr addr, Area area, Word wdata)
         injector_->fire(FaultSite::SpuriousWakeup)) {
         for (PeId waiter = 0; waiter < config_.numPes; ++waiter) {
             if (parkedOn_[waiter] != kNoAddr) {
+                const Addr block = parkedOn_[waiter];
                 parkedOn_[waiter] = kNoAddr;
                 clock_[waiter] = std::max(clock_[waiter], clock_[pe]);
+                if (sink_ != nullptr)
+                    sink_->onWake(waiter, block, clock_[waiter]);
             }
         }
     }
@@ -168,6 +183,19 @@ System::setFaultInjector(FaultInjector* injector)
     bus_->setFaultInjector(injector);
     for (auto& cache : caches_)
         cache->setFaultInjector(injector);
+}
+
+void
+System::addEventSink(EventSink* sink)
+{
+    sinkMux_.add(sink);
+    if (sink_ == nullptr) {
+        // First registration: wire every component to the mux.
+        sink_ = &sinkMux_;
+        bus_->setEventSink(&sinkMux_);
+        for (auto& cache : caches_)
+            cache->setEventSink(&sinkMux_);
+    }
 }
 
 std::vector<PeId>
@@ -235,6 +263,8 @@ System::onUnlockBroadcast(Addr word_addr, Cycles when)
         if (parkedOn_[pe] == block) {
             parkedOn_[pe] = kNoAddr;
             clock_[pe] = std::max(clock_[pe], when);
+            if (sink_ != nullptr)
+                sink_->onWake(pe, block, clock_[pe]);
         }
     }
 }

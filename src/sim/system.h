@@ -24,6 +24,7 @@
 #include "bus/bus.h"
 #include "cache/pim_cache.h"
 #include "mem/paged_store.h"
+#include "obs/event_sink.h"
 #include "sim/opt_policy.h"
 #include "trace/ref.h"
 #include "trace/ref_stats.h"
@@ -182,6 +183,17 @@ class System : public UnlockListener
      */
     void setFaultInjector(FaultInjector* injector);
 
+    /**
+     * Register an observability sink (timeline recorder, metrics
+     * registry; docs/OBSERVABILITY.md). Events from the bus, every cache,
+     * every lock directory and the System itself fan out to all
+     * registered sinks, in registration order. Sinks stay attached for
+     * the System's lifetime; the caller keeps ownership. Until the first
+     * sink is registered, no component holds a sink pointer, so an
+     * unobserved run pays one null compare per hook site.
+     */
+    void addEventSink(EventSink* sink);
+
     /** PEs currently parked on a lock, in PE order. */
     std::vector<PeId> pendingWaiters() const;
 
@@ -207,6 +219,8 @@ class System : public UnlockListener
     std::function<void(const MemRef&)> refObserver_;
     std::vector<AccessObserver*> observers_;
     FaultInjector* injector_ = nullptr;
+    MultiSink sinkMux_;
+    EventSink* sink_ = nullptr; ///< &sinkMux_ once a sink registered.
 };
 
 } // namespace pim

@@ -236,7 +236,7 @@ TEST(LockDirectoryUnit, SnoopTransitionsToLwait)
     LockDirectory dir(0, 2);
     dir.acquire(100);
     EXPECT_EQ(dir.stateOf(100), LockState::LCK);
-    EXPECT_TRUE(dir.snoopLockCheck(100, 4));
+    EXPECT_TRUE(dir.snoopLockCheck(100, 4, 0));
     EXPECT_EQ(dir.stateOf(100), LockState::LWAIT);
     EXPECT_TRUE(dir.release(100));
 }
@@ -245,7 +245,7 @@ TEST(LockDirectoryUnit, SnoopMissesOtherBlocks)
 {
     LockDirectory dir(0, 2);
     dir.acquire(100);
-    EXPECT_FALSE(dir.snoopLockCheck(104, 4));
+    EXPECT_FALSE(dir.snoopLockCheck(104, 4, 0));
     EXPECT_EQ(dir.stateOf(100), LockState::LCK);
     EXPECT_FALSE(dir.release(100));
 }
@@ -254,8 +254,8 @@ TEST(LockDirectoryUnit, BlockRangeCheck)
 {
     LockDirectory dir(0, 2);
     dir.acquire(103);
-    EXPECT_TRUE(dir.snoopLockCheck(100, 4));  // 103 in [100,104)
-    EXPECT_FALSE(dir.snoopLockCheck(96, 4));  // 103 not in [96,100)
+    EXPECT_TRUE(dir.snoopLockCheck(100, 4, 0));  // 103 in [100,104)
+    EXPECT_FALSE(dir.snoopLockCheck(96, 4, 0));  // 103 not in [96,100)
 }
 
 TEST(LockDirectoryUnitDeath, OverflowIsFatal)

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/json.h"
 #include "sim/stress.h"
 
 namespace pim {
@@ -125,6 +126,47 @@ TEST(Stress, ForcedMissDroppingDirtyDataIsCaught)
     EXPECT_TRUE(result.kind == SimFaultKind::Corruption ||
                 result.kind == SimFaultKind::Protocol)
         << result.message;
+}
+
+TEST(Stress, TimelineDumpedOnInjectedFault)
+{
+    // --timeline-out must leave a parseable Chrome trace-event document
+    // behind even when the run dies on an injected fault, so the cycles
+    // leading up to the failure can be inspected in Perfetto.
+    StressConfig config = quickConfig(7);
+    config.planSpec = "corrupt_word:p=0.01";
+    config.timelineOut = ::testing::TempDir() + "stress_fault_timeline.json";
+    const StressResult result = runStress(config);
+    ASSERT_TRUE(result.failed);
+    EXPECT_EQ(result.timelinePath, config.timelineOut);
+    EXPECT_GT(result.timelineEvents, 0u);
+
+    const JsonValue doc = JsonValue::parseFile(result.timelinePath);
+    ASSERT_TRUE(doc.has("traceEvents"));
+    EXPECT_GT(doc.at("traceEvents").size(), 0u);
+    // write() auto-closes whatever the fault left open, so begins and
+    // ends balance even for the aborted run.
+    std::uint64_t begins = 0;
+    std::uint64_t ends = 0;
+    for (const JsonValue& event : doc.at("traceEvents").asArray()) {
+        if (event.at("ph").asString() == "B")
+            ++begins;
+        else if (event.at("ph").asString() == "E")
+            ++ends;
+    }
+    EXPECT_EQ(begins, ends);
+}
+
+TEST(Stress, TimelineWrittenForCleanRunToo)
+{
+    StressConfig config = quickConfig(11);
+    config.timelineOut = ::testing::TempDir() + "stress_clean_timeline.json";
+    const StressResult result = runStress(config);
+    EXPECT_FALSE(result.failed) << result.message;
+    EXPECT_EQ(result.timelinePath, config.timelineOut);
+    EXPECT_GT(result.timelineEvents, 0u);
+    EXPECT_TRUE(
+        JsonValue::parseFile(result.timelinePath).has("traceEvents"));
 }
 
 TEST(Stress, InjectorSummaryIsReported)
