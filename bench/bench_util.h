@@ -16,6 +16,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -42,13 +44,20 @@ struct BenchContext {
     static BenchContext
     parse(int argc, const char* const* argv)
     {
+        // The environment cannot change under us, so each REPRO_* var is
+        // looked up exactly once per process, no matter how many
+        // contexts or rows a binary builds.
+        static const std::string json_env = [] {
+            const char* env = std::getenv("REPRO_JSON");
+            return std::string(env == nullptr ? "" : env);
+        }();
         BenchContext ctx;
         ctx.options = Options::parse(argc, argv);
         ctx.scale = static_cast<std::uint32_t>(ctx.options.getIntEnv(
             "scale", "REPRO_SCALE", defaultScale()));
         ctx.pes = static_cast<std::uint32_t>(
             ctx.options.getIntEnv("pes", "REPRO_PES", 8));
-        ctx.jsonOut = ctx.options.getStringEnv("json", "REPRO_JSON", "");
+        ctx.jsonOut = ctx.options.getString("json", json_env);
         return ctx;
     }
 };
@@ -137,6 +146,21 @@ class BenchJson
     {
         if (!enabled())
             return true;
+        // A missing parent directory (e.g. --json=results/x.json before
+        // `results/` exists) used to be a silently failed open; create
+        // it instead, like `mkdir -p`.
+        const std::filesystem::path parent =
+            std::filesystem::path(path_).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+            if (ec) {
+                std::fprintf(stderr, "bench: cannot create %s: %s\n",
+                             parent.string().c_str(),
+                             ec.message().c_str());
+                return false;
+            }
+        }
         std::ofstream out(path_, std::ios::binary);
         if (!out) {
             std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());

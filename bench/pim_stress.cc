@@ -51,6 +51,9 @@ usage()
         "                      as <trace-out>.timeline.json)\n"
         "  --no-audit          detach the coherence auditor\n"
         "  --expect-fault      exit 0 iff a fault was detected\n"
+        "  --seeds=N           batch: run seeds SEED..SEED+N-1 (default 1)\n"
+        "  --jobs=N            batch worker threads (default: hardware);\n"
+        "                      results are identical for any value\n"
         "  --replay            marker flag printed in replay lines; a\n"
         "                      stress run is a pure function of its flags\n");
 }
@@ -60,6 +63,7 @@ const char* const kKnownFlags[] = {
     "span",       "write-pct",  "lock-pct",  "opt-pct",
     "plan",       "trace-out",  "timeline-out", "no-audit",  "expect-fault",
     "replay",     "help",       "starvation-bound", "livelock-retries",
+    "seeds",      "jobs",
 };
 
 /**
@@ -104,6 +108,8 @@ main(int argc, char** argv)
 
     StressConfig config;
     StressResult result;
+    std::uint32_t seeds = 1;
+    unsigned jobs = 0;
     try {
         config.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
         config.numPes =
@@ -127,6 +133,42 @@ main(int argc, char** argv)
             opts.getInt("starvation-bound", 100000));
         config.watchdog.livelockRetries = static_cast<std::uint32_t>(
             opts.getInt("livelock-retries", 1000));
+        seeds = static_cast<std::uint32_t>(opts.getInt("seeds", 1));
+        jobs = static_cast<unsigned>(opts.getInt("jobs", 0));
+
+        if (seeds > 1) {
+            // Seed batch through the shared thread pool: per-seed results
+            // are identical to running each seed alone (stress.h).
+            const std::vector<StressResult> results =
+                runStressBatch(config, seeds, jobs);
+            std::uint32_t faults = 0;
+            for (std::uint32_t i = 0; i < seeds; ++i) {
+                const StressResult& r = results[i];
+                if (r.failed) {
+                    ++faults;
+                    std::printf("seed %llu: FAULT (%s) after %llu refs: "
+                                "%s\n  replay: %s\n",
+                                static_cast<unsigned long long>(
+                                    config.seed + i),
+                                simFaultKindName(r.kind),
+                                static_cast<unsigned long long>(
+                                    r.completedRefs),
+                                r.message.c_str(), r.replayLine.c_str());
+                } else {
+                    std::printf("seed %llu: OK, %llu refs, fingerprint "
+                                "%016llx\n",
+                                static_cast<unsigned long long>(
+                                    config.seed + i),
+                                static_cast<unsigned long long>(
+                                    r.completedRefs),
+                                static_cast<unsigned long long>(
+                                    r.fingerprint));
+                }
+            }
+            std::printf("batch: %u seeds, %u faults\n", seeds, faults);
+            const bool expect_fault = opts.getBool("expect-fault");
+            return (faults != 0) == expect_fault ? 0 : 2;
+        }
 
         result = runStress(config);
     } catch (const SimFault& fault) {

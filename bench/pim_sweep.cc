@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Parallel experiment engine CLI (docs/EXPERIMENTS.md): expands a
+ * declarative sweep spec into independent simulation tasks, fans them
+ * out across a work-stealing thread pool, and aggregates the rows into
+ * one deterministic SWEEP.json (plus per-experiment BENCH_sweep_*.json
+ * and a SWEEP.perf.json throughput sidecar).
+ *
+ * `--spec=paper` reproduces the entire Table 1-5 / Figure 1-3 grid in
+ * one invocation; SWEEP.json is byte-identical for any --jobs value.
+ *
+ * Exit codes: 0 = every task ran (failed rows are results, reported in
+ * SWEEP.json); 1 = bad usage, unreadable spec, or unwritable output.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/options.h"
+#include "common/sim_fault.h"
+#include "common/strutil.h"
+#include "common/thread_pool.h"
+#include "sweep/sweep_runner.h"
+
+using namespace pim;
+using namespace pim::sweep;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "pim_sweep: parallel sweep over simulation parameter grids\n"
+        "  --spec=FILE|paper|smoke  sweep spec: a JSON file, the built-in\n"
+        "                      full paper grid, or the 4-point CI smoke\n"
+        "  --jobs=N            worker threads (default: hardware)\n"
+        "  --out=DIR           write SWEEP.json, SWEEP.perf.json and\n"
+        "                      BENCH_sweep_<id>.json here (created if\n"
+        "                      missing; default: no files, stdout only)\n"
+        "  --scale=N           override every kl1 task's workload scale\n"
+        "  --list              print the expanded grid and exit\n"
+        "  --perf-inline       embed the perf block in SWEEP.json (forfeits\n"
+        "                      cross---jobs byte-identity)\n");
+}
+
+const char* const kKnownFlags[] = {
+    "spec", "jobs", "out", "scale", "list", "perf-inline", "help",
+};
+
+/** Like pim_stress: a mistyped flag must not silently run a default. */
+bool
+flagsAreKnown(int argc, const char* const* argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--", 2) != 0)
+            continue;
+        std::string name(argv[i] + 2);
+        name = name.substr(0, name.find('='));
+        bool known = false;
+        for (const char* flag : kKnownFlags)
+            known = known || name == flag;
+        if (!known) {
+            std::fprintf(stderr, "pim_sweep: unknown option --%s\n",
+                         name.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+SweepSpec
+loadSpec(const std::string& spec_arg)
+{
+    if (spec_arg == "paper")
+        return SweepSpec::paperGrid();
+    if (spec_arg == "smoke")
+        return SweepSpec::smokeGrid();
+    return SweepSpec::parseFile(spec_arg);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Options opts = Options::parse(argc, argv);
+    if (opts.getBool("help")) {
+        usage();
+        return 0;
+    }
+    if (!flagsAreKnown(argc, argv)) {
+        usage();
+        return 1;
+    }
+
+    try {
+        const SweepSpec spec = loadSpec(opts.getString("spec", "paper"));
+
+        SweepOptions options;
+        options.jobs = static_cast<unsigned>(opts.getInt(
+            "jobs", static_cast<std::int64_t>(ThreadPool::defaultWorkers())));
+        options.outDir = opts.getString("out", "");
+        options.scale =
+            static_cast<std::uint32_t>(opts.getInt("scale", 0));
+        options.perfInline = opts.getBool("perf-inline");
+
+        if (opts.getBool("list")) {
+            std::size_t index = 0;
+            for (const SweepExperiment& experiment : spec.experiments) {
+                for (const SweepPoint& point : experiment.expand()) {
+                    std::printf("%4zu %-24s %s\n", index++,
+                                experiment.id.c_str(),
+                                point.toString().c_str());
+                }
+            }
+            std::printf("%zu tasks\n", index);
+            return 0;
+        }
+
+        std::printf("== sweep %s: %zu tasks on %u workers ==\n",
+                    spec.name.c_str(), spec.totalTasks(),
+                    options.jobs == 0 ? ThreadPool::defaultWorkers()
+                                      : options.jobs);
+
+        const SweepOutcome outcome = runSweep(spec, options);
+
+        for (const SweepExperiment& experiment : spec.experiments)
+            std::printf("  %-24s %zu points\n", experiment.id.c_str(),
+                        experiment.pointCount());
+        std::printf("tasks: %zu total, %zu failed rows\n",
+                    outcome.rows.size(), outcome.failedRows);
+        for (const SweepRow& row : outcome.rows) {
+            if (row.failed) {
+                std::printf("  FAILED task %zu (%s): %s: %s\n",
+                            row.taskIndex,
+                            spec.experiments[row.experiment].id.c_str(),
+                            row.faultKind.c_str(), row.message.c_str());
+            }
+        }
+        std::printf("fingerprint: %016llx\n",
+                    static_cast<unsigned long long>(outcome.fingerprint));
+        std::printf("throughput: %.1f s wall, %.2f sims/sec, "
+                    "speedup vs --jobs=1 (est.): %.2fx on %u workers\n",
+                    outcome.wallSeconds,
+                    outcome.wallSeconds == 0
+                        ? 0.0
+                        : static_cast<double>(outcome.rows.size()) /
+                              outcome.wallSeconds,
+                    outcome.wallSeconds == 0
+                        ? 1.0
+                        : outcome.taskSecondsSum / outcome.wallSeconds,
+                    outcome.jobs);
+
+        if (!writeSweepFiles(spec, outcome, options))
+            return 1;
+        if (!options.outDir.empty()) {
+            std::printf("wrote %s/SWEEP.json (+ perf sidecar, %zu "
+                        "BENCH_sweep_*.json)\n",
+                        options.outDir.c_str(), spec.experiments.size());
+        }
+    } catch (const SimFault& fault) {
+        std::fprintf(stderr, "pim_sweep: %s\n", fault.what());
+        return 1;
+    }
+    return 0;
+}

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <atomic>
+
 namespace pim {
 
 namespace {
@@ -34,8 +36,11 @@ initialLevel()
     return LogLevel::Warn;
 }
 
-LogLevel gLevel = initialLevel();
-std::uint64_t gSequence = 0; ///< Next line's sequence number.
+// Atomic so concurrent simulations on a thread pool can log without a
+// data race; sequence numbers stay globally unique and monotonic, but
+// lines from different workers may interleave in any order.
+std::atomic<LogLevel> gLevel{initialLevel()};
+std::atomic<std::uint64_t> gSequence{0}; ///< Next line's sequence number.
 
 const char*
 levelName(LogLevel level)
@@ -55,25 +60,26 @@ levelName(LogLevel level)
 LogLevel
 logLevel()
 {
-    return gLevel;
+    return gLevel.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    gLevel = level;
+    gLevel.store(level, std::memory_order_relaxed);
 }
 
 std::uint64_t
 logSequence()
 {
-    return gSequence;
+    return gSequence.load(std::memory_order_relaxed);
 }
 
 void
 logLine(LogLevel level, const std::string& msg, int pe)
 {
-    const std::uint64_t seq = gSequence++;
+    const std::uint64_t seq =
+        gSequence.fetch_add(1, std::memory_order_relaxed);
     if (pe >= 0) {
         std::fprintf(stderr, "[%llu %s pe%d] %s\n",
                      static_cast<unsigned long long>(seq),

@@ -1,0 +1,125 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace pim {
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    const unsigned count = workers == 0 ? defaultWorkers() : workers;
+    queues_.resize(count);
+    workers_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    try {
+        wait();
+    } catch (const std::exception& e) {
+        // A destructor must not throw; the dropped exception was the
+        // caller's to collect via wait().
+        PIM_WARN("ThreadPool destroyed with unobserved task error: "
+                 << e.what());
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queues_[nextQueue_].push_back(std::move(task));
+        nextQueue_ = (nextQueue_ + 1) % queues_.size();
+        ++queued_;
+        ++submitted_;
+    }
+    workReady_.notify_one();
+}
+
+std::uint64_t
+ThreadPool::tasksSubmitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return submitted_;
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
+    if (firstError_) {
+        std::exception_ptr error = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+bool
+ThreadPool::takeTask(std::size_t self, std::function<void()>& task)
+{
+    // Own deque first (front: oldest of the tasks dealt to this worker),
+    // then steal round-robin from the victims after us.
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        std::deque<std::function<void()>>& queue =
+            queues_[(self + i) % queues_.size()];
+        if (!queue.empty()) {
+            task = std::move(queue.front());
+            queue.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        std::function<void()> task;
+        if (takeTask(self, task)) {
+            --queued_;
+            ++active_;
+            lock.unlock();
+            try {
+                task();
+            } catch (...) {
+                lock.lock();
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+                --active_;
+                if (queued_ == 0 && active_ == 0)
+                    allDone_.notify_all();
+                continue;
+            }
+            lock.lock();
+            --active_;
+            if (queued_ == 0 && active_ == 0)
+                allDone_.notify_all();
+            continue;
+        }
+        if (stop_)
+            return;
+        workReady_.wait(lock);
+    }
+}
+
+} // namespace pim

@@ -47,6 +47,9 @@ class Histogram
     /** Inclusive lower bound of bucket @p i (0, 1, 2, 4, ...). */
     static std::uint64_t bucketLow(int i);
 
+    /** Fold @p other into this histogram (exact: buckets align). */
+    void merge(const Histogram& other);
+
     /** Serialize as {count, sum, max, mean, buckets: [...]}. */
     void writeJson(JsonWriter& json) const;
 
@@ -73,6 +76,19 @@ class MetricsRegistry final : public EventSink
     {
         return counters_;
     }
+
+    /**
+     * Fold @p other's counters and histograms into this registry.
+     *
+     * This is the sweep engine's aggregation model ("thread-safe by
+     * isolation", DESIGN.md "Threading model"): every parallel task owns
+     * a private registry, and the runner merges them single-threaded
+     * after the pool joins, in task order — so the merged totals are
+     * independent of worker count and scheduling. The registry itself
+     * is deliberately not locked. Transient per-access state (park
+     * timestamps, fill flags) is not merged; merge completed runs only.
+     */
+    void merge(const MetricsRegistry& other);
 
     /** Serialize all counters and histograms as one JSON object. */
     void writeJson(JsonWriter& json) const;

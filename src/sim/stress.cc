@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/strutil.h"
+#include "common/thread_pool.h"
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
@@ -341,6 +342,28 @@ runStress(const StressConfig& config)
     result.makespan = system.makespan();
     result.injectorSummary = injector.summary();
     return result;
+}
+
+std::vector<StressResult>
+runStressBatch(const StressConfig& base, std::uint32_t count, unsigned jobs)
+{
+    std::vector<StressResult> results(count);
+    ThreadPool pool(jobs);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        pool.submit([&base, &results, i] {
+            StressConfig config = base;
+            config.seed = base.seed + i;
+            const std::string suffix =
+                ".seed" + std::to_string(config.seed);
+            if (!config.traceOut.empty())
+                config.traceOut += suffix;
+            if (!config.timelineOut.empty())
+                config.timelineOut += suffix;
+            results[i] = runStress(config);
+        });
+    }
+    pool.wait();
+    return results;
 }
 
 } // namespace pim

@@ -1,0 +1,487 @@
+#include "sweep/sweep_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bench_kl1/programs.h"
+#include "bench_kl1/workload.h"
+#include "common/json.h"
+#include "common/sim_fault.h"
+#include "common/thread_pool.h"
+#include "sim/stress.h"
+
+namespace pim::sweep {
+
+namespace {
+
+namespace bench = pim::kl1::bench;
+
+/**
+ * Per-task cost in CPU seconds of the calling thread, not wall time:
+ * when workers outnumber cores a descheduled task accrues no cost, so
+ * the serial-time estimate (the sum of task costs) stays honest.
+ */
+double
+threadSeconds()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return static_cast<double>(ts.tv_sec) + ts.tv_nsec * 1e-9;
+#endif
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               Clock::now().time_since_epoch()).count();
+}
+
+/** Fingerprint mixer (splitmix64 finalizer over a running hash). */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    std::uint64_t z = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mixString(std::uint64_t h, const std::string& text)
+{
+    for (char c : text)
+        h = mix(h, static_cast<unsigned char>(c));
+    return h;
+}
+
+std::string
+hex16(std::uint64_t value)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+OptPolicy
+parsePolicy(const std::string& name)
+{
+    if (name == "All")
+        return OptPolicy::all();
+    if (name == "None")
+        return OptPolicy::none();
+    if (name == "Heap")
+        return OptPolicy::heapOnly();
+    if (name == "Goal")
+        return OptPolicy::goalOnly();
+    if (name == "Comm")
+        return OptPolicy::commOnly();
+    throw PIM_SIM_FAULT(SimFaultKind::Config, "sweep: unknown policy '",
+                        name, "' (want None/Heap/Goal/Comm/All)");
+}
+
+void
+metric(SweepRow& row, const std::string& name, double value)
+{
+    row.metrics.emplace_back(name, ParamValue::ofNumber(value));
+}
+
+void
+metricText(SweepRow& row, const std::string& name, std::string value)
+{
+    row.metrics.emplace_back(name, ParamValue::ofText(std::move(value)));
+}
+
+/** Run one KL1 benchmark point and fill the row's metrics. */
+void
+runKl1Task(SweepRow& row)
+{
+    const SweepPoint& point = row.params;
+    const std::string bench_name = point.text("benchmark", "");
+    if (bench_name.empty()) {
+        throw PIM_SIM_FAULT(SimFaultKind::Config,
+                            "sweep: kl1 task needs a 'benchmark' param");
+    }
+    const std::uint32_t scale =
+        static_cast<std::uint32_t>(point.number("scale", 1));
+    const std::uint32_t pes =
+        static_cast<std::uint32_t>(point.number("pes", 8));
+
+    kl1::Kl1Config config = bench::paperConfig(
+        pes, parsePolicy(point.text("policy", "All")));
+    const std::uint32_t block_words =
+        static_cast<std::uint32_t>(point.number("blockWords", 4));
+    const std::uint32_t ways =
+        static_cast<std::uint32_t>(point.number("ways", 4));
+    if (point.has("capacityWords")) {
+        config.cache.geometry = CacheGeometry::forCapacity(
+            static_cast<std::uint64_t>(point.number("capacityWords", 0)),
+            block_words, ways);
+    } else {
+        config.cache.geometry.blockWords = block_words;
+        config.cache.geometry.ways = ways;
+        config.cache.geometry.sets =
+            static_cast<std::uint32_t>(point.number("sets", 256));
+    }
+    config.cache.lockEntries =
+        static_cast<std::uint32_t>(point.number("lockEntries", 2));
+    config.timing.widthWords =
+        static_cast<std::uint32_t>(point.number("busWidthWords", 1));
+    config.enableGc = point.number("enableGc", 0) != 0;
+
+    const bench::BenchResult result = bench::runBenchmark(
+        bench::benchmarkByName(bench_name), scale, config);
+
+    metric(row, "makespan", static_cast<double>(result.run.makespan));
+    metric(row, "bus_cycles", static_cast<double>(result.bus.totalCycles));
+    metric(row, "miss_pct", result.cache.missRatio() * 100);
+    metric(row, "reductions", static_cast<double>(result.run.reductions));
+    metric(row, "suspensions",
+           static_cast<double>(result.run.suspensions));
+    metric(row, "instructions",
+           static_cast<double>(result.run.instructions));
+    metric(row, "memory_refs", static_cast<double>(result.refs.total()));
+    metric(row, "steals", static_cast<double>(result.run.steals));
+}
+
+/** Run one stress point; a detected fault becomes a failed row. */
+void
+runStressTask(SweepRow& row, std::uint64_t derived_seed)
+{
+    const SweepPoint& point = row.params;
+    StressConfig config;
+    config.seed = point.has("seed")
+                      ? static_cast<std::uint64_t>(point.number("seed", 0))
+                      : derived_seed;
+    config.numPes = static_cast<std::uint32_t>(point.number("pes", 4));
+    config.blockWords =
+        static_cast<std::uint32_t>(point.number("blockWords", 4));
+    config.ways = static_cast<std::uint32_t>(point.number("ways", 2));
+    config.sets = static_cast<std::uint32_t>(point.number("sets", 64));
+    config.steps =
+        static_cast<std::uint64_t>(point.number("steps", 20000));
+    config.spanWords =
+        static_cast<std::uint64_t>(point.number("spanWords", 4096));
+    config.writePct =
+        static_cast<std::uint32_t>(point.number("writePct", 30));
+    config.lockPct =
+        static_cast<std::uint32_t>(point.number("lockPct", 10));
+    config.optPct =
+        static_cast<std::uint32_t>(point.number("optPct", 15));
+    config.planSpec = point.text("plan", "");
+
+    const StressResult result = runStress(config);
+    metric(row, "seed", static_cast<double>(config.seed));
+    metric(row, "completed_refs",
+           static_cast<double>(result.completedRefs));
+    metric(row, "audit_checks", static_cast<double>(result.auditChecks));
+    metric(row, "makespan", static_cast<double>(result.makespan));
+    metricText(row, "fingerprint", hex16(result.fingerprint));
+    if (result.failed) {
+        row.failed = true;
+        row.faultKind = simFaultKindName(result.kind);
+        row.message = result.message;
+    }
+}
+
+void
+writeParamValue(JsonWriter& json, const ParamValue& value)
+{
+    if (value.isNumber)
+        json.value(value.number);
+    else
+        json.value(value.text);
+}
+
+/** The flat key/value body shared by SWEEP rows and BENCH rows. */
+void
+writeRowFields(JsonWriter& json, const SweepRow& row)
+{
+    json.field("task", static_cast<std::uint64_t>(row.taskIndex));
+    for (const auto& [name, value] : row.params.params) {
+        json.key(name);
+        writeParamValue(json, value);
+    }
+    for (const auto& [name, value] : row.metrics) {
+        json.key(name);
+        writeParamValue(json, value);
+    }
+    json.field("failed", row.failed);
+    if (row.failed) {
+        json.field("fault_kind", row.faultKind);
+        json.field("message", row.message);
+    }
+}
+
+/** Per-experiment aggregate: mean/min/max per numeric metric, paper deltas. */
+void
+writeAggregate(JsonWriter& json, const SweepExperiment& experiment,
+               const std::vector<const SweepRow*>& rows)
+{
+    // Metric names in first-appearance order.
+    std::vector<std::string> names;
+    for (const SweepRow* row : rows) {
+        for (const auto& [name, value] : row->metrics) {
+            if (!value.isNumber)
+                continue;
+            bool known = false;
+            for (const std::string& existing : names)
+                known = known || existing == name;
+            if (!known)
+                names.push_back(name);
+        }
+    }
+
+    json.key("aggregate");
+    json.beginObject();
+    for (const std::string& name : names) {
+        double sum = 0, lo = 0, hi = 0;
+        std::uint64_t count = 0;
+        for (const SweepRow* row : rows) {
+            if (row->failed)
+                continue;
+            for (const auto& [metric_name, value] : row->metrics) {
+                if (metric_name != name || !value.isNumber)
+                    continue;
+                if (count == 0) {
+                    lo = hi = value.number;
+                } else {
+                    lo = std::min(lo, value.number);
+                    hi = std::max(hi, value.number);
+                }
+                sum += value.number;
+                ++count;
+            }
+        }
+        if (count == 0)
+            continue;
+        json.key(name);
+        json.beginObject();
+        const double mean = sum / static_cast<double>(count);
+        json.field("mean", mean);
+        json.field("min", lo);
+        json.field("max", hi);
+        for (const auto& [paper_name, paper_value] : experiment.paper) {
+            if (paper_name != name || paper_value == 0)
+                continue;
+            json.field("paper", paper_value);
+            json.field("delta_pct",
+                       100.0 * (mean - paper_value) / paper_value);
+        }
+        json.endObject();
+    }
+    json.endObject();
+}
+
+std::string
+renderSweepJson(const SweepSpec& spec, const SweepOutcome& outcome,
+                const SweepOptions& options)
+{
+    std::ostringstream os;
+    JsonWriter json(os, /*pretty=*/true);
+    json.beginObject();
+    json.field("name", spec.name);
+    json.field("spec_seed", spec.seed);
+    json.field("tasks", static_cast<std::uint64_t>(outcome.rows.size()));
+    json.field("failed_rows",
+               static_cast<std::uint64_t>(outcome.failedRows));
+    json.key("experiments");
+    json.beginArray();
+    for (std::size_t e = 0; e < spec.experiments.size(); ++e) {
+        const SweepExperiment& experiment = spec.experiments[e];
+        std::vector<const SweepRow*> rows;
+        for (const SweepRow& row : outcome.rows) {
+            if (row.experiment == e)
+                rows.push_back(&row);
+        }
+        json.beginObject();
+        json.field("id", experiment.id);
+        json.field("kind", taskKindName(experiment.kind));
+        json.key("rows");
+        json.beginArray();
+        for (const SweepRow* row : rows) {
+            json.beginObject();
+            writeRowFields(json, *row);
+            json.endObject();
+        }
+        json.endArray();
+        writeAggregate(json, experiment, rows);
+        json.endObject();
+    }
+    json.endArray();
+    json.field("fingerprint", hex16(outcome.fingerprint));
+    if (options.perfInline) {
+        // Wall-clock data varies run to run; embedding it forfeits the
+        // cross---jobs byte-identity guarantee (docs/EXPERIMENTS.md).
+        json.key("perf");
+        json.rawValue(renderPerfJson(outcome));
+    }
+    json.endObject();
+    os << "\n";
+    return os.str();
+}
+
+} // namespace
+
+SweepOutcome
+runSweep(const SweepSpec& spec, const SweepOptions& options)
+{
+    using Clock = std::chrono::steady_clock;
+
+    SweepOutcome outcome;
+    outcome.jobs = options.jobs == 0 ? ThreadPool::defaultWorkers()
+                                     : options.jobs;
+
+    // Expand the grid up front: rows[i] is task i's pre-assigned slot,
+    // so workers never contend and completion order cannot matter.
+    for (std::size_t e = 0; e < spec.experiments.size(); ++e) {
+        const SweepExperiment& experiment = spec.experiments[e];
+        for (SweepPoint& point : experiment.expand()) {
+            SweepRow row;
+            row.taskIndex = outcome.rows.size();
+            row.experiment = e;
+            row.params = std::move(point);
+            if (options.scale != 0 && experiment.kind == TaskKind::Kl1) {
+                row.params.set("scale", ParamValue::ofNumber(
+                                            options.scale));
+            }
+            outcome.rows.push_back(std::move(row));
+        }
+    }
+
+    const Clock::time_point wall_start = Clock::now();
+    {
+        ThreadPool pool(outcome.jobs);
+        for (SweepRow& row : outcome.rows) {
+            const TaskKind kind = spec.experiments[row.experiment].kind;
+            const std::uint64_t derived_seed =
+                deriveSeed(spec.seed, row.taskIndex);
+            pool.submit([&row, kind, derived_seed] {
+                const double start = threadSeconds();
+                try {
+                    if (kind == TaskKind::Kl1)
+                        runKl1Task(row);
+                    else
+                        runStressTask(row, derived_seed);
+                } catch (const SimFault& fault) {
+                    // A faulting point is a result, not a crash: record
+                    // it and keep the pool draining the rest of the grid.
+                    row.failed = true;
+                    row.faultKind = simFaultKindName(fault.kind());
+                    row.message = fault.message();
+                }
+                row.seconds = threadSeconds() - start;
+            });
+        }
+        pool.wait();
+    }
+    outcome.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+    // Single-threaded aggregation in task order (determinism barrier).
+    for (const SweepRow& row : outcome.rows) {
+        outcome.taskSecondsSum += row.seconds;
+        if (row.failed)
+            ++outcome.failedRows;
+        std::uint64_t h = mix(0, row.taskIndex);
+        h = mixString(h, row.params.toString());
+        for (const auto& [name, value] : row.metrics) {
+            h = mixString(h, name);
+            h = mixString(h, value.toString());
+        }
+        h = mix(h, row.failed ? 1 : 0);
+        outcome.fingerprint = mix(outcome.fingerprint, h);
+    }
+
+    outcome.sweepJson = renderSweepJson(spec, outcome, options);
+    return outcome;
+}
+
+std::string
+renderPerfJson(const SweepOutcome& outcome)
+{
+    std::ostringstream os;
+    JsonWriter json(os, /*pretty=*/true);
+    json.beginObject();
+    json.field("jobs", static_cast<std::uint64_t>(outcome.jobs));
+    json.field("tasks", static_cast<std::uint64_t>(outcome.rows.size()));
+    json.field("wall_seconds", outcome.wallSeconds);
+    json.field("task_seconds_sum", outcome.taskSecondsSum);
+    json.field("sims_per_sec",
+               outcome.wallSeconds == 0
+                   ? 0.0
+                   : static_cast<double>(outcome.rows.size()) /
+                         outcome.wallSeconds);
+    // Speedup vs --jobs=1, estimated as serial time (the sum of task
+    // times) over wall time; exact when tasks dominate the run.
+    json.field("speedup_vs_serial",
+               outcome.wallSeconds == 0
+                   ? 1.0
+                   : outcome.taskSecondsSum / outcome.wallSeconds);
+    json.endObject();
+    return os.str();
+}
+
+bool
+writeSweepFiles(const SweepSpec& spec, const SweepOutcome& outcome,
+                const SweepOptions& options)
+{
+    namespace fs = std::filesystem;
+    if (options.outDir.empty())
+        return true;
+
+    std::error_code ec;
+    fs::create_directories(fs::path(options.outDir), ec);
+    if (ec) {
+        std::fprintf(stderr, "pim_sweep: cannot create %s: %s\n",
+                     options.outDir.c_str(), ec.message().c_str());
+        return false;
+    }
+
+    bool ok = true;
+    const auto write_file = [&ok](const fs::path& path,
+                                  const std::string& content) {
+        std::ofstream out(path, std::ios::binary);
+        out << content;
+        if (!out.good()) {
+            std::fprintf(stderr, "pim_sweep: cannot write %s\n",
+                         path.string().c_str());
+            ok = false;
+        }
+    };
+
+    write_file(fs::path(options.outDir) / "SWEEP.json", outcome.sweepJson);
+    write_file(fs::path(options.outDir) / "SWEEP.perf.json",
+               renderPerfJson(outcome) + "\n");
+
+    // Per-experiment row files in the bench --json shape (flat rows;
+    // docs/OBSERVABILITY.md), named BENCH_sweep_<id>.json.
+    for (std::size_t e = 0; e < spec.experiments.size(); ++e) {
+        std::ostringstream os;
+        JsonWriter json(os, /*pretty=*/true);
+        json.beginObject();
+        json.field("name", "sweep_" + spec.experiments[e].id);
+        json.field("kind", taskKindName(spec.experiments[e].kind));
+        json.key("rows");
+        json.beginArray();
+        for (const SweepRow& row : outcome.rows) {
+            if (row.experiment != e)
+                continue;
+            json.beginObject();
+            writeRowFields(json, row);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+        os << "\n";
+        write_file(fs::path(options.outDir) /
+                       ("BENCH_sweep_" + spec.experiments[e].id + ".json"),
+                   os.str());
+    }
+    return ok;
+}
+
+} // namespace pim::sweep

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Parallel sweep execution: fans the independent simulation tasks of a
+ * SweepSpec out across a work-stealing ThreadPool and aggregates the
+ * per-task rows into one deterministic SWEEP document
+ * (docs/EXPERIMENTS.md).
+ *
+ * Determinism contract: every task owns its whole simulation stack
+ * (System/Emulator, MetricsRegistry, RNG derived from the task's grid
+ * index), results land in a slot pre-assigned by task index, and all
+ * aggregation runs single-threaded after the pool joins — so the SWEEP
+ * document is byte-identical for any --jobs value. Wall-clock
+ * measurements are intentionally kept out of it (SWEEP.perf.json).
+ */
+
+#ifndef PIMCACHE_SWEEP_SWEEP_RUNNER_H_
+#define PIMCACHE_SWEEP_SWEEP_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_spec.h"
+
+namespace pim::sweep {
+
+/** Result of one grid point (one simulation task). */
+struct SweepRow {
+    std::size_t taskIndex = 0;  ///< Stable index in the expanded grid.
+    std::size_t experiment = 0; ///< Index into SweepSpec::experiments.
+    SweepPoint params;          ///< The grid point (post-expansion).
+    /** Measured values, in emission order (numbers and text). */
+    std::vector<std::pair<std::string, ParamValue>> metrics;
+    bool failed = false;        ///< Task threw / detected a SimFault.
+    std::string faultKind;      ///< simFaultKindName when failed.
+    std::string message;        ///< Fault message when failed.
+    double seconds = 0;         ///< Thread CPU time (perf only, not in SWEEP).
+};
+
+/** Execution options (the pim_sweep CLI surface). */
+struct SweepOptions {
+    unsigned jobs = 1;       ///< Worker threads (0 = hardware).
+    std::string outDir;      ///< Output directory ("" = don't write files).
+    std::uint32_t scale = 0; ///< Override every kl1 task's scale (0 = spec).
+    bool perfInline = false; ///< Embed the perf block in SWEEP.json
+                             ///< (breaks cross-jobs byte-identity).
+};
+
+/** Everything a sweep run produced. */
+struct SweepOutcome {
+    std::vector<SweepRow> rows; ///< Task-index order.
+    std::size_t failedRows = 0;
+    double wallSeconds = 0;     ///< Whole-grid wall time.
+    double taskSecondsSum = 0;  ///< Serial-time estimate (sum of per-task
+                                ///< thread CPU times).
+    unsigned jobs = 1;          ///< Workers actually used.
+    std::uint64_t fingerprint = 0; ///< Hash of all deterministic rows.
+    std::string sweepJson;      ///< Rendered SWEEP document.
+};
+
+/** Expand @p spec and run every task on @p options.jobs workers. */
+SweepOutcome runSweep(const SweepSpec& spec, const SweepOptions& options);
+
+/**
+ * Render the perf sidecar (jobs, wall seconds, sims/sec, speedup
+ * estimate = task-seconds-sum / wall). Lives outside SWEEP.json so the
+ * deterministic document stays byte-identical across --jobs values.
+ */
+std::string renderPerfJson(const SweepOutcome& outcome);
+
+/**
+ * Write SWEEP.json, SWEEP.perf.json and one BENCH_sweep_<id>.json per
+ * experiment into options.outDir (created, parents included, when
+ * missing). @return false if any file cannot be written.
+ */
+bool writeSweepFiles(const SweepSpec& spec, const SweepOutcome& outcome,
+                     const SweepOptions& options);
+
+} // namespace pim::sweep
+
+#endif // PIMCACHE_SWEEP_SWEEP_RUNNER_H_

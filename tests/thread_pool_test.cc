@@ -1,0 +1,132 @@
+/**
+ * @file
+ * ThreadPool unit tests (ctest label `sweep`): results independent of
+ * worker count and scheduling, exception propagation through wait(),
+ * and shutdown with work still queued.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_fault.h"
+#include "common/thread_pool.h"
+
+using namespace pim;
+
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskOnce)
+{
+    ThreadPool pool(4);
+    constexpr int kTasks = 200;
+    std::vector<std::atomic<int>> runs(kTasks);
+    for (int i = 0; i < kTasks; ++i)
+        pool.submit([&runs, i] { runs[i].fetch_add(1); });
+    pool.wait();
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+    EXPECT_EQ(pool.tasksSubmitted(), kTasks);
+}
+
+/**
+ * The determinism contract the sweep engine builds on: tasks writing
+ * into pre-assigned slots produce identical results for any worker
+ * count, even though execution order differs.
+ */
+TEST(ThreadPoolTest, SlotResultsAreOrderingIndependent)
+{
+    constexpr int kTasks = 128;
+    std::vector<std::vector<std::uint64_t>> outcomes;
+    for (unsigned workers : {1u, 3u, 8u}) {
+        std::vector<std::uint64_t> slots(kTasks, 0);
+        ThreadPool pool(workers);
+        for (int i = 0; i < kTasks; ++i) {
+            pool.submit([&slots, i] {
+                // A little computation whose result depends only on the
+                // slot index.
+                std::uint64_t h = i;
+                for (int k = 0; k < 1000; ++k)
+                    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+                slots[i] = h;
+            });
+        }
+        pool.wait();
+        outcomes.push_back(std::move(slots));
+    }
+    EXPECT_EQ(outcomes[0], outcomes[1]);
+    EXPECT_EQ(outcomes[0], outcomes[2]);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([&completed, i] {
+            if (i == 3) {
+                throw PIM_SIM_FAULT(SimFaultKind::Protocol,
+                                    "injected test fault");
+            }
+            completed.fetch_add(1);
+        });
+    }
+    EXPECT_THROW(pool.wait(), SimFault);
+    // The failing task did not tear the pool down: all others ran.
+    EXPECT_EQ(completed.load(), 9);
+    // The exception is delivered once; a second wait is clean.
+    pool.wait();
+}
+
+TEST(ThreadPoolTest, WaitCanBeCalledWithNoWork)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    pool.submit([] {});
+    pool.wait();
+    pool.wait();
+}
+
+/** Destruction with queued work drains the queue instead of dropping it. */
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork)
+{
+    std::atomic<int> runs{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i) {
+            pool.submit([&runs] {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                runs.fetch_add(1);
+            });
+        }
+        // No wait(): the destructor must finish the backlog.
+    }
+    EXPECT_EQ(runs.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareWorkers)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), ThreadPool::defaultWorkers());
+    EXPECT_GE(pool.workerCount(), 1u);
+}
+
+/** Tasks submitted from inside a task (nested fan-out) complete too. */
+TEST(ThreadPoolTest, TasksCanSubmitTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> runs{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&pool, &runs] {
+            pool.submit([&runs] { runs.fetch_add(1); });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(runs.load(), 8);
+}
+
+} // namespace
