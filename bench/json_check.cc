@@ -1,13 +1,20 @@
 /**
  * @file
  * Schema validator for the simulator's JSON outputs (BENCH_*.json,
- * metrics, timelines, reportAllJson documents). Parses each positional
- * file and checks every --require=PATH dotted path resolves to a value
- * (numeric segments index arrays, e.g. "rows.0.measured_cycles").
+ * SWEEP.json, metrics, timelines, reportAllJson documents). Parses each
+ * positional file and checks every --require=PATH dotted path resolves
+ * to a value (numeric segments index arrays, e.g.
+ * "rows.0.measured_cycles").
+ *
+ * --schema=NAME prepends a built-in required-path set for the
+ * repository's standard documents: `bench` (a table binary's --json
+ * report), `sweep` (pim_sweep's SWEEP.json, docs/EXPERIMENTS.md) and
+ * `sweep-perf` (its SWEEP.perf.json engine-throughput sidecar).
+ * Explicit --require paths are checked in addition.
  *
  * Exit codes: 0 = all files parse and all required paths resolve;
- * 1 = a parse failure or a missing path. Used by the ctest `obs` label
- * to validate the bench --json schema without a Python dependency.
+ * 1 = a parse failure or a missing path. Used by the ctest `obs` and
+ * `sweep` labels to validate schemas without a Python dependency.
  */
 
 #include <cstdio>
@@ -26,9 +33,47 @@ void
 usage()
 {
     std::printf(
-        "json_check FILE... [--require=PATH ...]\n"
+        "json_check FILE... [--schema=NAME] [--require=PATH ...]\n"
         "  Parses each FILE as JSON and verifies every --require dotted\n"
-        "  path resolves (numeric segments index arrays).\n");
+        "  path resolves (numeric segments index arrays).\n"
+        "  --schema adds a built-in path set: bench, sweep, sweep-perf.\n");
+}
+
+/** Built-in required paths for @p schema; false if unknown. */
+bool
+schemaPaths(const std::string& schema, std::vector<std::string>* out)
+{
+    if (schema == "bench") {
+        // A table/figure binary's --json report.
+        *out = {"name", "scale", "pes", "rows.0.bench"};
+        return true;
+    }
+    if (schema == "sweep") {
+        // pim_sweep's SWEEP.json (docs/EXPERIMENTS.md).
+        *out = {"name",
+                "spec_seed",
+                "tasks",
+                "failed_rows",
+                "fingerprint",
+                "experiments.0.id",
+                "experiments.0.kind",
+                "experiments.0.rows.0.task",
+                "experiments.0.rows.0.benchmark",
+                "experiments.0.rows.0.makespan",
+                "experiments.0.rows.0.bus_cycles",
+                "experiments.0.rows.0.failed",
+                "experiments.0.aggregate.makespan.mean",
+                "experiments.0.aggregate.makespan.min",
+                "experiments.0.aggregate.makespan.max"};
+        return true;
+    }
+    if (schema == "sweep-perf") {
+        // pim_sweep's SWEEP.perf.json engine-throughput sidecar.
+        *out = {"jobs", "tasks", "wall_seconds", "task_seconds_sum",
+                "sims_per_sec", "speedup_vs_serial"};
+        return true;
+    }
+    return false;
 }
 
 } // namespace
@@ -45,6 +90,16 @@ main(int argc, char** argv)
     // Collect every --require (the shared parser keeps only the last
     // value per name, so scan argv directly for repeats).
     std::vector<std::string> required;
+    if (opts.has("schema")) {
+        const std::string schema = opts.getString("schema");
+        if (!schemaPaths(schema, &required)) {
+            std::fprintf(stderr,
+                         "json_check: unknown schema '%s' (expected "
+                         "bench, sweep or sweep-perf)\n",
+                         schema.c_str());
+            return 1;
+        }
+    }
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const std::string prefix = "--require=";

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Build-and-test matrix (docs/TESTING.md): a Release leg, the two
+# sanitizer legs, and a coverage leg. Each configuration builds into its
+# own build-<name> directory so legs never contaminate each other.
+#
+#   scripts/ci.sh             # full matrix
+#   scripts/ci.sh release     # one leg: release | asan | tsan | coverage
+#   CTEST_ARGS="-L conform" scripts/ci.sh asan   # restrict the ctest run
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+CTEST_ARGS=${CTEST_ARGS:-}
+
+run_leg() {
+    local name=$1
+    shift
+    local dir="build-${name}"
+    echo "=== leg: ${name} (${dir}) ==="
+    cmake -B "${dir}" -S . "$@"
+    cmake --build "${dir}" -j "${JOBS}"
+    # ${CTEST_ARGS} intentionally unquoted: it is a list of extra flags.
+    # shellcheck disable=SC2086
+    (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" ${CTEST_ARGS})
+}
+
+coverage_report() {
+    local dir="build-coverage"
+    if command -v gcovr >/dev/null 2>&1; then
+        gcovr --root . --filter src/ "${dir}" \
+              --print-summary -o "${dir}/coverage.txt"
+        echo "coverage report: ${dir}/coverage.txt"
+    else
+        echo "gcovr not found; raw .gcda files are under ${dir}/"
+    fi
+}
+
+legs=("$@")
+if [ ${#legs[@]} -eq 0 ]; then
+    legs=(release asan tsan coverage)
+fi
+
+for leg in "${legs[@]}"; do
+    case "${leg}" in
+      release)
+        run_leg release -DCMAKE_BUILD_TYPE=Release
+        ;;
+      asan)
+        run_leg asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPIM_SANITIZE=ON
+        ;;
+      tsan)
+        run_leg tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPIM_SANITIZE=thread
+        ;;
+      coverage)
+        run_leg coverage -DCMAKE_BUILD_TYPE=Debug -DPIM_COVERAGE=ON
+        coverage_report
+        ;;
+      *)
+        echo "ci.sh: unknown leg '${leg}'" \
+             "(expected release, asan, tsan or coverage)" >&2
+        exit 2
+        ;;
+    esac
+done
+echo "=== all legs passed ==="

@@ -370,4 +370,19 @@ Bus::writeMemoryBlock(Addr block_addr, const Word* data)
         memory_.write(block_addr + w, data[w]);
 }
 
+void
+Bus::snapshotPurgeMarks(Addr lo, Addr hi,
+                        std::vector<std::uint64_t>& out) const
+{
+    std::vector<Addr> marks;
+    for (Addr mark : purgedDirty_) {
+        if (mark >= lo && mark < hi)
+            marks.push_back(mark);
+    }
+    std::sort(marks.begin(), marks.end());
+    out.push_back(marks.size());
+    for (Addr mark : marks)
+        out.push_back(mark);
+}
+
 } // namespace pim

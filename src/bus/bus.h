@@ -240,6 +240,16 @@ class Bus
         return purgedDirty_.count(block_addr) != 0;
     }
 
+    /**
+     * Append the purge marks in [@p lo, @p hi) to @p out in address
+     * order. Part of the protocol state snapshot used by the
+     * conformance engine (src/model): a purge mark changes how later
+     * invariant checks and stale-fetch accounting behave, so states
+     * differing only in marks must not be merged.
+     */
+    void snapshotPurgeMarks(Addr lo, Addr hi,
+                            std::vector<std::uint64_t>& out) const;
+
     /** Read a block from shared memory without bus involvement (init). */
     void readMemoryBlock(Addr block_addr, Word* data_out) const;
 

@@ -1,5 +1,7 @@
 #include "cache/lock_directory.h"
 
+#include <algorithm>
+
 #include "common/xassert.h"
 #include "obs/event_sink.h"
 
@@ -126,6 +128,23 @@ LockDirectory::entries() const
             out.emplace_back(slot.addr, slot.state);
     }
     return out;
+}
+
+void
+LockDirectory::snapshotState(std::vector<std::uint64_t>& out) const
+{
+    std::vector<std::pair<Addr, LockState>> held = entries();
+    std::sort(held.begin(), held.end());
+    out.push_back(held.size());
+    for (const auto& [addr, state] : held) {
+        out.push_back(addr);
+        out.push_back(static_cast<std::uint64_t>(state));
+    }
+    std::vector<Addr> ghosts = ghosts_;
+    std::sort(ghosts.begin(), ghosts.end());
+    out.push_back(ghosts.size());
+    for (Addr ghost : ghosts)
+        out.push_back(ghost);
 }
 
 } // namespace pim

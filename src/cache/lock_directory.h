@@ -65,6 +65,14 @@ class LockDirectory : public LockSnooper
     std::vector<std::pair<Addr, LockState>> entries() const;
 
     /**
+     * Append a canonical description of the directory to @p out:
+     * occupied entries in address order (slot assignment is an
+     * implementation detail), then ghost words. Part of the protocol
+     * state snapshot used by the conformance engine (src/model).
+     */
+    void snapshotState(std::vector<std::uint64_t>& out) const;
+
+    /**
      * Attach a fault injector (nullptr to detach). Sites: LostUnlock (a
      * release with waiters returns "no UL needed", so parked PEs never
      * wake) and StuckLwait (a released LWAIT entry leaves a ghost that

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Seeded protocol mutations for the conformance engine (src/model).
+ *
+ * Each mutation flips one deliberate wrong decision in the cache
+ * controller — the kind of off-by-one-state bug a real implementation
+ * could ship with. The exhaustive explorer and the differential trace
+ * fuzzer must detect every one of them (tests/model_test.cc); a mutation
+ * that survives means the checker has a blind spot.
+ *
+ * The hook is a plain runtime switch (default None = faithful protocol)
+ * so production code paths stay intact; only the conformance tests ever
+ * set it.
+ */
+
+#ifndef PIMCACHE_CACHE_MUTATION_H_
+#define PIMCACHE_CACHE_MUTATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pim {
+
+/** One seeded protocol bug (None = the faithful protocol). */
+enum class ProtocolMutation : std::uint8_t {
+    None = 0,
+    /** A dirty supplier answering F reports its data as clean (SM/EM
+     *  treated as EC on the share path): the receiver installs S instead
+     *  of SM, so nobody remembers that shared memory is stale. */
+    SmSharedAsClean = 1,
+    /** A write hitting a shared (S/SM) block skips the I broadcast:
+     *  remote copies survive a local write and diverge. */
+    WriteSharedSkipsInv = 2,
+    /** ER's read-invalidate case issues F instead of FI: the supplier
+     *  keeps its copy alongside the receiver's exclusive one. */
+    ErKeepsSupplier = 3,
+    /** An unlock with waiters skips the UL broadcast: parked PEs spin on
+     *  a lock that is already free. */
+    UnlockDropsUl = 4,
+};
+
+inline constexpr int kNumProtocolMutations = 5;
+
+/** Stable CLI name ("none", "sm_shared_as_clean", ...). */
+inline const char*
+protocolMutationName(ProtocolMutation mutation)
+{
+    switch (mutation) {
+      case ProtocolMutation::None:                return "none";
+      case ProtocolMutation::SmSharedAsClean:     return "sm_shared_as_clean";
+      case ProtocolMutation::WriteSharedSkipsInv: return "write_shared_skips_inv";
+      case ProtocolMutation::ErKeepsSupplier:     return "er_keeps_supplier";
+      case ProtocolMutation::UnlockDropsUl:       return "unlock_drops_ul";
+    }
+    return "?";
+}
+
+/** Parse a CLI name; returns false if @p name is unknown. */
+inline bool
+parseProtocolMutation(const std::string& name, ProtocolMutation* out)
+{
+    for (int i = 0; i < kNumProtocolMutations; ++i) {
+        const auto mutation = static_cast<ProtocolMutation>(i);
+        if (name == protocolMutationName(mutation)) {
+            *out = mutation;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace pim
+
+#endif // PIMCACHE_CACHE_MUTATION_H_

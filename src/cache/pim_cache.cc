@@ -277,7 +277,12 @@ PimCache::doWrite(const MemRef& ref, Word wdata, Cycles now)
     }
     if (Block* block = findBlock(base)) {
         touchLru(*block);
-        if (block->state == CacheState::S || block->state == CacheState::SM) {
+        const bool shared =
+            block->state == CacheState::S || block->state == CacheState::SM;
+        // Seeded bug WriteSharedSkipsInv: write the shared copy in place
+        // without the I broadcast, leaving remote copies to diverge.
+        if (shared &&
+            mutation_ != ProtocolMutation::WriteSharedSkipsInv) {
             const InvalidateResult inv =
                 bus_.invalidate(pe_, base, false, 0, now, ref.area);
             result.doneAt = inv.completeAt;
@@ -418,7 +423,11 @@ PimCache::doUnlock(const MemRef& ref, bool write, Word wdata, Cycles now)
         touchLru(*block);
     }
 
-    const bool had_waiter = locks_.release(ref.addr, when);
+    bool had_waiter = locks_.release(ref.addr, when);
+    // Seeded bug UnlockDropsUl: skip the UL broadcast, so parked PEs
+    // busy-wait on a lock that is already free.
+    if (mutation_ == ProtocolMutation::UnlockDropsUl)
+        had_waiter = false;
     stats_.unlockCount += 1;
     if (had_waiter) {
         result.doneAt = bus_.unlockBroadcast(pe_, ref.addr, when, ref.area);
@@ -497,10 +506,14 @@ PimCache::doExclusiveRead(const MemRef& ref, Cycles now)
     }
 
     if (block == nullptr && !last_word) {
-        // Case (i): read-invalidate the supplier (FI fetch).
+        // Case (i): read-invalidate the supplier (FI fetch). Seeded bug
+        // ErKeepsSupplier fetches with plain F instead, leaving the
+        // supplier's copy alive next to our exclusive one.
         AccessResult result;
-        const FetchOutcome outcome = fetchBlock(base, true, false, 0, true,
-                                                nullptr, now, ref.area);
+        const bool invalidate =
+            mutation_ != ProtocolMutation::ErKeepsSupplier;
+        const FetchOutcome outcome = fetchBlock(base, invalidate, false, 0,
+                                                true, nullptr, now, ref.area);
         if (outcome.lockWait) {
             result.lockWait = true;
             result.waitAddr = base;
@@ -622,6 +635,46 @@ PimCache::loadValue(Addr addr) const
     return bus_.memory().read(addr);
 }
 
+void
+PimCache::snapshotState(Addr lo, Addr hi,
+                        std::vector<std::uint64_t>& out) const
+{
+    // Valid blocks in range, in address order (the set/way layout is an
+    // implementation detail; two caches holding the same blocks in the
+    // same states must snapshot equal).
+    std::vector<const Block*> valid;
+    for (const Block& block : blocks_) {
+        if (block.state != CacheState::INV && block.base >= lo &&
+            block.base < hi) {
+            valid.push_back(&block);
+        }
+    }
+    std::sort(valid.begin(), valid.end(),
+              [](const Block* a, const Block* b) { return a->base < b->base; });
+    out.push_back(valid.size());
+    for (const Block* block : valid) {
+        out.push_back(block->base);
+        out.push_back(static_cast<std::uint64_t>(block->state));
+        // Replacement order matters to future behavior, absolute LRU
+        // ticks do not: record the rank of this block among the valid
+        // blocks of its set.
+        const std::uint32_t set = setIndexOf(block->base);
+        const Block* begin =
+            &blocks_[static_cast<std::size_t>(set) * config_.geometry.ways];
+        std::uint64_t rank = 0;
+        for (std::uint32_t way = 0; way < config_.geometry.ways; ++way) {
+            const Block& other = begin[way];
+            if (other.state != CacheState::INV && other.lru < block->lru)
+                rank += 1;
+        }
+        out.push_back(rank);
+        const Word* words = blockData(*block);
+        for (std::uint32_t w = 0; w < config_.geometry.blockWords; ++w)
+            out.push_back(words[w]);
+    }
+    locks_.snapshotState(out);
+}
+
 BusSnooper::FetchReply
 PimCache::snoopFetch(Addr block_addr, bool invalidate, Word* data_out,
                      Cycles when)
@@ -649,6 +702,11 @@ PimCache::snoopFetch(Addr block_addr, bool invalidate, Word* data_out,
     }
 
     setState(*block, CacheState::S, when);
+    // Seeded bug SmSharedAsClean: a dirty supplier reports its data as
+    // clean, so the receiver installs S instead of SM and nobody
+    // remembers that shared memory is stale.
+    if (mutation_ == ProtocolMutation::SmSharedAsClean)
+        return {true, false};
     return {true, was_dirty};
 }
 

@@ -22,6 +22,7 @@
 #include "cache/cache_stats.h"
 #include "cache/config.h"
 #include "cache/lock_directory.h"
+#include "cache/mutation.h"
 #include "cache/state.h"
 #include "common/types.h"
 #include "trace/ref.h"
@@ -93,6 +94,28 @@ class PimCache : public BusSnooper
         sink_ = sink;
         locks_.setEventSink(sink);
     }
+
+    /**
+     * Arm one seeded protocol bug (conformance tests only; see
+     * cache/mutation.h). ProtocolMutation::None restores the faithful
+     * protocol.
+     */
+    void
+    setProtocolMutation(ProtocolMutation mutation)
+    {
+        mutation_ = mutation;
+    }
+
+    /**
+     * Append a canonical description of this cache's protocol state to
+     * @p out: every valid block with base in [@p lo, @p hi) in address
+     * order (base, state, LRU rank within its set, data words), then the
+     * lock directory. Local clocks and absolute LRU ticks are excluded
+     * so that runs reaching the same protocol state hash equal — the
+     * state-space explorer's canonicalization (src/model).
+     */
+    void snapshotState(Addr lo, Addr hi,
+                       std::vector<std::uint64_t>& out) const;
 
     LockDirectory& lockDirectory() { return locks_; }
     const LockDirectory& lockDirectory() const { return locks_; }
@@ -166,6 +189,7 @@ class PimCache : public BusSnooper
     PeId pe_;
     CacheConfig config_;
     Bus& bus_;
+    ProtocolMutation mutation_ = ProtocolMutation::None;
     FaultInjector* injector_ = nullptr;
     EventSink* sink_ = nullptr;
     LockDirectory locks_;

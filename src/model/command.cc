@@ -1,0 +1,118 @@
+#include "model/command.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/sim_fault.h"
+#include "common/strutil.h"
+
+namespace pim {
+
+namespace {
+
+bool
+parseOpName(const std::string& name, MemOp* out)
+{
+    for (int i = 0; i < kNumMemOps; ++i) {
+        const auto op = static_cast<MemOp>(i);
+        if (name == memOpName(op)) {
+            *out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+[[noreturn]] void
+badCommand(const std::string& text, const char* why)
+{
+    throw PIM_SIM_FAULT(SimFaultKind::Parse, "bad conformance command '",
+                        text, "': ", why,
+                        " (expected P<pe>:<OP>@<addr>[=<value>])");
+}
+
+std::uint64_t
+parseNumber(const std::string& text, const std::string& digits)
+{
+    if (digits.empty())
+        badCommand(text, "missing number");
+    for (char c : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            badCommand(text, "malformed number");
+    }
+    try {
+        return std::stoull(digits);
+    } catch (const std::exception&) {
+        badCommand(text, "number out of range");
+    }
+}
+
+} // namespace
+
+std::string
+cmdToString(const ProtoCmd& cmd)
+{
+    std::ostringstream out;
+    out << "P" << cmd.pe << ":" << memOpName(cmd.op) << "@" << cmd.addr;
+    if (memOpWrites(cmd.op))
+        out << "=" << cmd.value;
+    return out.str();
+}
+
+std::string
+traceToString(const std::vector<ProtoCmd>& trace)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (i != 0)
+            out << ";";
+        out << cmdToString(trace[i]);
+    }
+    return out.str();
+}
+
+std::vector<ProtoCmd>
+parseTrace(const std::string& text)
+{
+    std::vector<ProtoCmd> trace;
+    for (std::string part : splitString(text, ';')) {
+        // Strip whitespace so scripts can be written one command per line.
+        std::string compact;
+        for (char c : part) {
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                compact += c;
+        }
+        if (compact.empty())
+            continue;
+
+        if (compact[0] != 'P')
+            badCommand(compact, "missing 'P' prefix");
+        const std::size_t colon = compact.find(':');
+        if (colon == std::string::npos)
+            badCommand(compact, "missing ':'");
+        const std::size_t at = compact.find('@', colon);
+        if (at == std::string::npos)
+            badCommand(compact, "missing '@'");
+        const std::size_t eq = compact.find('=', at);
+
+        ProtoCmd cmd;
+        cmd.pe = static_cast<PeId>(
+            parseNumber(compact, compact.substr(1, colon - 1)));
+        const std::string op_name = compact.substr(colon + 1, at - colon - 1);
+        if (!parseOpName(op_name, &cmd.op))
+            badCommand(compact, "unknown operation");
+        const std::size_t addr_end =
+            eq == std::string::npos ? compact.size() : eq;
+        cmd.addr = parseNumber(compact,
+                               compact.substr(at + 1, addr_end - at - 1));
+        if (eq != std::string::npos) {
+            if (!memOpWrites(cmd.op))
+                badCommand(compact, "'=' on a non-writing operation");
+            cmd.value = parseNumber(compact, compact.substr(eq + 1));
+        }
+        trace.push_back(cmd);
+    }
+    return trace;
+}
+
+} // namespace pim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The conformance engine's command vocabulary.
+ *
+ * A ProtoCmd is one processor-side memory operation by one PE — the unit
+ * the exhaustive explorer interleaves and the trace fuzzer mutates. The
+ * textual form ("P0:W@5=3", joined with ';') is the replay language:
+ * every divergence the engine reports prints as such a script, and
+ * `pim_conform --replay=...` runs it back under full checking
+ * (docs/TESTING.md).
+ */
+
+#ifndef PIMCACHE_MODEL_COMMAND_H_
+#define PIMCACHE_MODEL_COMMAND_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/ref.h"
+
+namespace pim {
+
+/** One command of a conformance trace. */
+struct ProtoCmd {
+    PeId pe = 0;
+    MemOp op = MemOp::R;
+    Addr addr = 0;
+    Word value = 0; ///< Data for writing operations (W, UW, DW, DWD).
+
+    bool
+    operator==(const ProtoCmd& other) const
+    {
+        return pe == other.pe && op == other.op && addr == other.addr &&
+               value == other.value;
+    }
+};
+
+/** "P0:W@5=3" (writing operations) or "P1:R@2" (the rest). */
+std::string cmdToString(const ProtoCmd& cmd);
+
+/** Commands joined with ';' — the replayable script form. */
+std::string traceToString(const std::vector<ProtoCmd>& trace);
+
+/**
+ * Parse a script produced by traceToString (whitespace around commands
+ * is ignored; empty commands are skipped).
+ * @throws SimFault (Parse) with the offending command text.
+ */
+std::vector<ProtoCmd> parseTrace(const std::string& text);
+
+} // namespace pim
+
+#endif // PIMCACHE_MODEL_COMMAND_H_

@@ -1,0 +1,77 @@
+#include "model/explorer.h"
+
+#include <deque>
+#include <memory>
+#include <set>
+
+#include "common/sim_fault.h"
+
+namespace pim {
+
+ExploreResult
+explore(const ExploreConfig& config)
+{
+    ExploreResult result;
+    std::set<std::vector<std::uint64_t>> visited;
+    std::deque<std::vector<ProtoCmd>> frontier;
+
+    {
+        ConformanceHarness root(config.harness);
+        visited.insert(root.snapshot());
+        frontier.push_back({});
+        result.states = 1;
+    }
+
+    while (!frontier.empty()) {
+        const std::vector<ProtoCmd> trace = std::move(frontier.front());
+        frontier.pop_front();
+
+        // Rebuild the node and enumerate its enabled commands.
+        ConformanceHarness node(config.harness);
+        node.replay(trace); // validated prefix; cannot diverge
+        const std::vector<ProtoCmd> commands = node.enabledCommands();
+
+        if (commands.empty() && node.anyParked()) {
+            // Nobody can move but PEs are still parked: a busy-wait
+            // deadlock the generation rules should have made unreachable.
+            result.divergence = true;
+            result.divergenceMessage =
+                "deadlock: no command is enabled but PEs are parked";
+            result.divergenceTrace = trace;
+            return result;
+        }
+        if (trace.size() >= config.depth)
+            continue;
+
+        for (const ProtoCmd& cmd : commands) {
+            // Successors are rebuilt by prefix replay: the System is not
+            // copyable, and a bounded-depth replay is cheap.
+            ConformanceHarness child(config.harness);
+            child.replay(trace);
+            result.edges += 1;
+            result.checks += trace.size() + 1;
+            try {
+                child.step(cmd);
+            } catch (const SimFault& fault) {
+                result.divergence = true;
+                result.divergenceMessage = fault.message();
+                result.divergenceTrace = trace;
+                result.divergenceTrace.push_back(cmd);
+                return result;
+            }
+            if (visited.insert(child.snapshot()).second) {
+                result.states += 1;
+                std::vector<ProtoCmd> extended = trace;
+                extended.push_back(cmd);
+                frontier.push_back(std::move(extended));
+                if (result.states >= config.maxStates) {
+                    result.truncated = true;
+                    return result;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace pim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Exhaustive state-space exploration of the conformance harness.
+ *
+ * Breadth-first search over canonical protocol states: from each
+ * reached state, every enabled command is tried; the successor's
+ * canonical snapshot (ConformanceHarness::snapshot) merges runs that
+ * arrive at the same protocol situation along different schedules, so
+ * the search terminates even though the raw interleaving tree is
+ * exponential. Every edge executes the harness's full cross-check
+ * battery; the first divergence stops the search with the exact command
+ * trace that reached it.
+ *
+ * The System is deliberately not copyable (it owns caches wired to a
+ * bus), so successor states are reconstructed by replaying the command
+ * prefix on a fresh harness — O(depth) per edge, which small
+ * configurations (2-3 PEs, 1-2 blocks) afford easily.
+ */
+
+#ifndef PIMCACHE_MODEL_EXPLORER_H_
+#define PIMCACHE_MODEL_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/harness.h"
+
+namespace pim {
+
+/** Exploration parameters. */
+struct ExploreConfig {
+    HarnessConfig harness;
+    std::uint32_t depth = 8;          ///< Maximum trace length.
+    std::uint64_t maxStates = 500000; ///< Safety cap on distinct states.
+};
+
+/** Outcome of one exploration. */
+struct ExploreResult {
+    std::uint64_t states = 0; ///< Distinct canonical states reached.
+    std::uint64_t edges = 0;  ///< Commands executed (with full checks).
+    std::uint64_t checks = 0; ///< Cross-check groups run.
+    bool truncated = false;   ///< maxStates hit before the depth bound.
+    bool divergence = false;
+    std::string divergenceMessage;
+    std::vector<ProtoCmd> divergenceTrace; ///< Commands reaching it.
+};
+
+/** Run the exhaustive search. */
+ExploreResult explore(const ExploreConfig& config);
+
+} // namespace pim
+
+#endif // PIMCACHE_MODEL_EXPLORER_H_

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Differential trace fuzzing with automatic shrinking.
+ *
+ * Drives the conformance harness with seeded random traces (uniform
+ * choice among the enabled commands, randomized write values) — the
+ * probabilistic complement to the exhaustive explorer, reaching depths
+ * and configurations BFS cannot. On divergence the failing trace is
+ * shrunk ddmin-style: ever-smaller chunks are removed and the candidate
+ * replayed leniently (disabled commands skip), keeping any candidate
+ * that still diverges, until no single command can be dropped. The
+ * result prints as a replayable script for `pim_conform --replay=...`.
+ */
+
+#ifndef PIMCACHE_MODEL_FUZZER_H_
+#define PIMCACHE_MODEL_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/harness.h"
+
+namespace pim {
+
+/** Fuzzing parameters. */
+struct FuzzConfig {
+    HarnessConfig harness;
+    std::uint64_t seed = 1;
+    std::uint32_t traces = 20; ///< Independent traces to run.
+    std::uint32_t len = 200;   ///< Commands per trace.
+    bool shrink = true;        ///< Minimize the first failing trace.
+};
+
+/** Outcome of one fuzzing campaign. */
+struct FuzzResult {
+    std::uint64_t tracesRun = 0;
+    std::uint64_t commandsRun = 0;
+    bool divergence = false;
+    std::uint64_t failingSeed = 0;       ///< Derived seed of the trace.
+    std::string divergenceMessage;       ///< From the original failure.
+    std::vector<ProtoCmd> trace;         ///< Original failing trace.
+    std::vector<ProtoCmd> shrunk;        ///< Minimal reproducer.
+    std::string shrunkMessage;           ///< Divergence it reproduces.
+};
+
+/** Run the campaign; stops at the first divergent trace. */
+FuzzResult fuzz(const FuzzConfig& config);
+
+/**
+ * Shrink @p trace (known to diverge under @p harness_config) to a
+ * locally-minimal reproducer: no single command can be removed without
+ * losing the divergence. @p message_out receives the divergence message
+ * of the minimal trace.
+ */
+std::vector<ProtoCmd> shrinkTrace(const HarnessConfig& harness_config,
+                                  const std::vector<ProtoCmd>& trace,
+                                  std::string* message_out);
+
+} // namespace pim
+
+#endif // PIMCACHE_MODEL_FUZZER_H_

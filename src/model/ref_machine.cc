@@ -1,0 +1,156 @@
+#include "model/ref_machine.h"
+
+#include "common/xassert.h"
+
+namespace pim {
+
+RefMachine::RefMachine(std::uint32_t num_pes, std::uint32_t block_words,
+                       std::uint64_t memory_words,
+                       std::uint32_t lock_entries)
+    : numPes_(num_pes),
+      blockWords_(block_words),
+      lockEntries_(lock_entries),
+      memory_(memory_words, 0),
+      defined_(memory_words, true),
+      ledger_(memory_words, kNoPe)
+{
+    PIM_ASSERT(block_words >= 1 && memory_words % block_words == 0);
+}
+
+bool
+RefMachine::wouldLockWait(PeId pe, Addr addr) const
+{
+    // The lock directory answers LH at block granularity and the
+    // requester's own directory is never consulted (Bus::lockCheck).
+    const Addr base = blockBaseOf(addr);
+    for (std::uint32_t w = 0; w < blockWords_; ++w) {
+        const PeId owner = ledger_[base + w];
+        if (owner != kNoPe && owner != pe)
+            return true;
+    }
+    return false;
+}
+
+bool
+RefMachine::holdsLock(PeId pe, Addr addr) const
+{
+    return ledger_[addr] == pe;
+}
+
+std::uint32_t
+RefMachine::heldCount(PeId pe) const
+{
+    std::uint32_t count = 0;
+    for (PeId owner : ledger_) {
+        if (owner == pe)
+            count += 1;
+    }
+    return count;
+}
+
+PeId
+RefMachine::lockOwnerOnBlock(Addr addr) const
+{
+    const Addr base = blockBaseOf(addr);
+    for (std::uint32_t w = 0; w < blockWords_; ++w) {
+        if (ledger_[base + w] != kNoPe)
+            return ledger_[base + w];
+    }
+    return kNoPe;
+}
+
+RefOutcome
+RefMachine::apply(const ProtoCmd& cmd, const RefPreFacts& pre)
+{
+    RefOutcome outcome;
+    const Addr base = blockBaseOf(cmd.addr);
+
+    // Lock-wait gate: UW/U operate on a lock this PE already holds and
+    // never wait; everything else is inhibited (LH) while another PE
+    // holds a lock on a word of the target block. A lock-waiting command
+    // must leave every piece of state untouched — the PE retries it
+    // verbatim after the UL.
+    if (cmd.op != MemOp::UW && cmd.op != MemOp::U &&
+        wouldLockWait(cmd.pe, cmd.addr)) {
+        outcome.lockWait = true;
+        return outcome;
+    }
+
+    switch (cmd.op) {
+      case MemOp::R:
+      case MemOp::RI:
+        outcome.checked = defined_[cmd.addr];
+        outcome.value = memory_[cmd.addr];
+        break;
+
+      case MemOp::ER:
+      case MemOp::RP:
+        outcome.checked = defined_[cmd.addr];
+        outcome.value = memory_[cmd.addr];
+        if (pre.purgesDirty) {
+            // The only copy of the block's latest values was dropped
+            // without copy-back: by the single-use contract the block is
+            // dead, so its words stop being checkable.
+            for (std::uint32_t w = 0; w < blockWords_; ++w)
+                defined_[base + w] = false;
+        }
+        break;
+
+      case MemOp::W:
+        memory_[cmd.addr] = cmd.value;
+        defined_[cmd.addr] = true;
+        break;
+
+      case MemOp::DW:
+      case MemOp::DWD:
+        if (pre.freshAlloc) {
+            // Allocate-without-fetch zero-fills the whole block.
+            for (std::uint32_t w = 0; w < blockWords_; ++w) {
+                memory_[base + w] = 0;
+                defined_[base + w] = true;
+            }
+        }
+        memory_[cmd.addr] = cmd.value;
+        defined_[cmd.addr] = true;
+        break;
+
+      case MemOp::LR:
+        PIM_ASSERT(ledger_[cmd.addr] == kNoPe,
+                   "reference LR on an already-locked word");
+        PIM_ASSERT(heldCount(cmd.pe) < lockEntries_,
+                   "reference LR beyond the directory capacity");
+        ledger_[cmd.addr] = cmd.pe;
+        outcome.checked = defined_[cmd.addr];
+        outcome.value = memory_[cmd.addr];
+        break;
+
+      case MemOp::UW:
+        PIM_ASSERT(ledger_[cmd.addr] == cmd.pe,
+                   "reference UW on a word this PE does not hold");
+        memory_[cmd.addr] = cmd.value;
+        defined_[cmd.addr] = true;
+        ledger_[cmd.addr] = kNoPe;
+        break;
+
+      case MemOp::U:
+        PIM_ASSERT(ledger_[cmd.addr] == cmd.pe,
+                   "reference U on a word this PE does not hold");
+        ledger_[cmd.addr] = kNoPe;
+        break;
+    }
+    return outcome;
+}
+
+void
+RefMachine::snapshotState(std::vector<std::uint64_t>& out) const
+{
+    for (std::size_t addr = 0; addr < memory_.size(); ++addr) {
+        out.push_back(defined_[addr] ? 1 : 0);
+        out.push_back(defined_[addr] ? memory_[addr] : 0);
+        out.push_back(ledger_[addr] == kNoPe
+                          ? ~std::uint64_t{0}
+                          : static_cast<std::uint64_t>(ledger_[addr]));
+    }
+}
+
+} // namespace pim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The golden reference machine: what the memory system *should* do.
+ *
+ * A flat word-addressed memory plus a per-word lock ledger — no caches,
+ * no bus, no states. It defines the architectural semantics of every
+ * operation (R/W/DW/DWD/ER/RP/RI read or write the flat memory; LR/UW/U
+ * maintain the ledger) against which the full System is differentially
+ * checked by the explorer and fuzzer (src/model/harness.h).
+ *
+ * Two deliberate refinements keep the reference honest about the
+ * paper's software contracts instead of hiding them:
+ *
+ *  - Lock semantics: LR by PE p on word w succeeds iff no *other* PE
+ *    holds a lock on any word of w's block (the lock directory answers
+ *    LH at block granularity, and the requester's own directory is not
+ *    consulted). An operation predicted to lock-wait must leave all
+ *    state unchanged.
+ *
+ *  - Purge semantics: ER (present, last word) and RP drop a dirty block
+ *    without copy-back, so the *words of that block become undefined* —
+ *    the contract says they were single-use. The reference tracks a
+ *    per-word defined bit; reads of undefined words are not value-checked
+ *    (the System's stale-fetch accounting covers contract violations).
+ */
+
+#ifndef PIMCACHE_MODEL_REF_MACHINE_H_
+#define PIMCACHE_MODEL_REF_MACHINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "model/command.h"
+
+namespace pim {
+
+/** Golden outcome of one command. */
+struct RefOutcome {
+    bool lockWait = false; ///< Must park; no state may change.
+    bool checked = false;  ///< Read value is defined and must match.
+    Word value = 0;        ///< Golden read value (when checked).
+};
+
+/**
+ * Facts about the System's state *before* the command runs, computed by
+ * the harness, that select between architecturally-equal-but-contractually
+ * -different behaviors (whether a DW takes the fresh-allocation path,
+ * whether an ER/RP drops dirty data).
+ */
+struct RefPreFacts {
+    bool freshAlloc = false;  ///< DW/DWD allocates without fetching.
+    bool purgesDirty = false; ///< ER/RP drops a dirty copy (block dies).
+};
+
+/** Flat golden memory + lock ledger. */
+class RefMachine
+{
+  public:
+    RefMachine(std::uint32_t num_pes, std::uint32_t block_words,
+               std::uint64_t memory_words, std::uint32_t lock_entries);
+
+    /** Apply @p cmd; @p pre selects contract-dependent behavior. */
+    RefOutcome apply(const ProtoCmd& cmd, const RefPreFacts& pre);
+
+    /** Would @p cmd lock-wait right now? (True iff another PE holds a
+     *  lock on a word of the target block.) */
+    bool wouldLockWait(PeId pe, Addr addr) const;
+
+    /** True if @p pe holds the lock on word @p addr. */
+    bool holdsLock(PeId pe, Addr addr) const;
+
+    /** Locks currently held by @p pe. */
+    std::uint32_t heldCount(PeId pe) const;
+
+    /** PE holding a lock on any word of @p addr's block (kNoPe if none). */
+    PeId lockOwnerOnBlock(Addr addr) const;
+
+    /** True if word @p addr holds a defined (checkable) value. */
+    bool isDefined(Addr addr) const { return defined_[addr]; }
+
+    /** Golden value of word @p addr (meaningful when defined). */
+    Word valueOf(Addr addr) const { return memory_[addr]; }
+
+    /** Canonical (defined-bit, value) pairs, for state hashing. */
+    void snapshotState(std::vector<std::uint64_t>& out) const;
+
+    std::uint32_t blockWords() const { return blockWords_; }
+
+  private:
+    Addr blockBaseOf(Addr addr) const { return addr - addr % blockWords_; }
+
+    std::uint32_t numPes_;
+    std::uint32_t blockWords_;
+    std::uint32_t lockEntries_;
+    std::vector<Word> memory_;
+    std::vector<bool> defined_;
+    /** ledger_[addr] = PE holding the lock on that word, or kNoPe. */
+    std::vector<PeId> ledger_;
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_MODEL_REF_MACHINE_H_

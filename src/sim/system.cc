@@ -216,6 +216,36 @@ System::abandonParkedWaiters()
         parkedOn_[pe] = kNoAddr;
 }
 
+std::vector<std::uint64_t>
+System::protocolSnapshot(Addr lo, Addr hi) const
+{
+    std::vector<std::uint64_t> out;
+    out.push_back(hi - lo);
+    for (Addr addr = lo; addr < hi; ++addr)
+        out.push_back(memory_.read(addr));
+    for (PeId pe = 0; pe < config_.numPes; ++pe)
+        caches_[pe]->snapshotState(lo, hi, out);
+    bus_->snapshotPurgeMarks(lo, hi, out);
+    for (PeId pe = 0; pe < config_.numPes; ++pe)
+        out.push_back(parkedOn_[pe]);
+    return out;
+}
+
+std::uint64_t
+System::protocolHash(Addr lo, Addr hi) const
+{
+    // splitmix64 finalizer folded over the snapshot words.
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::uint64_t v : protocolSnapshot(lo, hi)) {
+        std::uint64_t z =
+            h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        h = z ^ (z >> 31);
+    }
+    return h;
+}
+
 PeId
 System::earliestRunnable() const
 {

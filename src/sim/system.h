@@ -149,6 +149,7 @@ class System : public UnlockListener
     Bus& bus() { return *bus_; }
     const Bus& bus() const { return *bus_; }
     PagedStore& memory() { return memory_; }
+    const PagedStore& memory() const { return memory_; }
     RefStats& refStats() { return refStats_; }
     const RefStats& refStats() const { return refStats_; }
 
@@ -196,6 +197,24 @@ class System : public UnlockListener
 
     /** PEs currently parked on a lock, in PE order. */
     std::vector<PeId> pendingWaiters() const;
+
+    /** The block address @p pe is parked on (kNoAddr when not parked). */
+    Addr parkedOnBlock(PeId pe) const { return parkedOn_[pe]; }
+
+    /**
+     * Canonical protocol state over the address range [@p lo, @p hi):
+     * shared-memory words, every cache's blocks/locks, the bus's purge
+     * marks and which block each PE is parked on. Everything that can
+     * influence *future protocol behavior* is included; local clocks,
+     * bus occupancy and statistics are not — two runs reaching the same
+     * protocol situation along different schedules snapshot equal, which
+     * is exactly the state-merging the exhaustive explorer (src/model)
+     * needs to terminate.
+     */
+    std::vector<std::uint64_t> protocolSnapshot(Addr lo, Addr hi) const;
+
+    /** 64-bit mix of protocolSnapshot (splitmix64-style). */
+    std::uint64_t protocolHash(Addr lo, Addr hi) const;
 
     /**
      * Un-park every waiting PE without a wakeup, acknowledging that their

@@ -5,6 +5,7 @@
 
 #include "cache/state.h"
 #include "common/sim_fault.h"
+#include "verify/invariants.h"
 
 namespace pim {
 
@@ -23,20 +24,7 @@ CoherenceAuditor::blockBaseOf(Addr addr) const
 std::string
 CoherenceAuditor::describeBlock(Addr block_base) const
 {
-    std::ostringstream out;
-    out << "block " << block_base << " [";
-    for (PeId pe = 0; pe < system_.numPes(); ++pe) {
-        if (pe != 0)
-            out << " ";
-        out << "pe" << pe << "="
-            << cacheStateName(system_.cache(pe).stateOf(block_base));
-    }
-    out << "] memory:";
-    for (std::uint32_t w = 0; w < blockWords_; ++w)
-        out << " " << system_.memory().read(block_base + w);
-    if (system_.bus().purgedDirtyMarked(block_base))
-        out << " (purge-marked)";
-    return out.str();
+    return describeBlockState(system_, block_base);
 }
 
 void
@@ -108,74 +96,9 @@ void
 CoherenceAuditor::auditBlock(Addr block_base, const std::string& context)
 {
     checksRun_ += 1;
-
-    std::uint32_t copies = 0;
-    std::uint32_t dirty_copies = 0;
-    std::uint32_t exclusive_copies = 0;
-    PeId reference_pe = kNoPe; ///< A dirty holder if any, else any holder.
-    for (PeId pe = 0; pe < system_.numPes(); ++pe) {
-        const CacheState state = system_.cache(pe).stateOf(block_base);
-        if (state == CacheState::INV)
-            continue;
-        copies += 1;
-        if (cacheStateDirty(state)) {
-            dirty_copies += 1;
-            reference_pe = pe;
-        } else if (reference_pe == kNoPe) {
-            reference_pe = pe;
-        }
-        if (cacheStateExclusive(state))
-            exclusive_copies += 1;
-    }
-
-    if (dirty_copies > 1) {
-        throw PIM_SIM_FAULT(SimFaultKind::Protocol, context, ": ",
-                            dirty_copies,
-                            " caches hold the block dirty (EM/SM); at most "
-                            "one writer may exist; ",
-                            describeBlock(block_base));
-    }
-    if (exclusive_copies > 0 && copies > 1) {
-        throw PIM_SIM_FAULT(SimFaultKind::Protocol, context,
-                            ": an exclusive (EM/EC) copy coexists with ",
-                            copies - 1, " other cop",
-                            copies - 1 == 1 ? "y" : "ies", "; ",
-                            describeBlock(block_base));
-    }
-    if (copies == 0)
-        return;
-
-    // All copies agree word-for-word; a dirty copy, if any, is the truth.
-    for (std::uint32_t w = 0; w < blockWords_; ++w) {
-        const Addr addr = block_base + w;
-        const Word truth = system_.cache(reference_pe).loadValue(addr);
-        for (PeId pe = 0; pe < system_.numPes(); ++pe) {
-            if (pe == reference_pe ||
-                system_.cache(pe).stateOf(block_base) == CacheState::INV) {
-                continue;
-            }
-            const Word copy = system_.cache(pe).loadValue(addr);
-            if (copy != truth) {
-                throw PIM_SIM_FAULT(
-                    SimFaultKind::Protocol, context, ": copies of word ",
-                    addr, " disagree (pe", reference_pe, " has ", truth,
-                    ", pe", pe, " has ", copy, "); ",
-                    describeBlock(block_base));
-            }
-        }
-        // With no dirty copy, memory must match (unless purge-marked).
-        if (dirty_copies == 0 &&
-            !system_.bus().purgedDirtyMarked(block_base)) {
-            const Word mem = system_.memory().read(addr);
-            if (mem != truth) {
-                throw PIM_SIM_FAULT(
-                    SimFaultKind::Protocol, context, ": clean copy of word ",
-                    addr, " (", truth, ") differs from shared memory (",
-                    mem, ") with no dirty copy to account for it; ",
-                    describeBlock(block_base));
-            }
-        }
-    }
+    // The invariant logic itself is shared with the offline conformance
+    // engine (src/model) — see verify/invariants.h.
+    checkBlockInvariants(system_, block_base, context);
 }
 
 void

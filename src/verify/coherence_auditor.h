@@ -8,14 +8,11 @@
  * that data corruption (from injected faults or real protocol bugs) is
  * caught at the first read that returns a wrong value.
  *
- * Invariants checked per block (paper Section 3, states EM/EC/SM/S/INV):
- *  1. At most one cache holds the block dirty (EM or SM).
- *  2. If any cache holds it exclusive (EM or EC), no other copy exists.
- *  3. All valid copies agree word-for-word (SM supplies S copies without
- *     updating memory, so copies must agree even while memory is stale).
- *  4. With no dirty copy anywhere, valid copies match shared memory —
- *     unless the block is purge-marked (ER/RP dropped the last dirty copy
- *     by software contract; Bus::purgedDirtyMarked).
+ * The invariants themselves live in verify/invariants.h (shared with the
+ * offline conformance engine in src/model): at most one dirty copy, no
+ * exclusive copy coexisting with others, all copies agree word-for-word,
+ * clean copies match memory unless purge-marked, and a held lock implies
+ * no remote copy of the locked block.
  *
  * The first violation throws a SimFault (Protocol for state/copy
  * violations, Corruption for shadow-value mismatches) with full context:
@@ -65,7 +62,7 @@ class CoherenceAuditor : public AccessObserver
   private:
     Addr blockBaseOf(Addr addr) const;
 
-    /** Invariants 1-4 for the block containing @p addr. */
+    /** Shared block invariants for the block containing @p addr. */
     void auditBlock(Addr block_base, const std::string& context);
 
     /** Shadow check for one read. */

@@ -1,0 +1,39 @@
+# Byte-for-byte golden comparison of a bench binary's ASCII output
+# (ctest `golden` label, docs/TESTING.md).
+#
+# Usage:
+#   cmake -DBINARY=<path> -DARGS="--scale;1;--pes;2" -DGOLDEN=<path>
+#         -DOUT=<scratch file> -P run_golden.cmake
+#
+# Runs BINARY with ARGS, captures stdout to OUT, and fails unless OUT is
+# byte-identical to GOLDEN. On mismatch the unified diff is printed (via
+# `cmake -E compare_files` first, then `diff` when available) and the
+# regenerate command is shown.
+
+foreach(var BINARY GOLDEN OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_golden.cmake: ${var} is required")
+    endif()
+endforeach()
+
+execute_process(COMMAND ${BINARY} ${ARGS}
+                OUTPUT_FILE ${OUT}
+                RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "golden: ${BINARY} exited with ${run_rc}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+                RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+    find_program(DIFF_TOOL diff)
+    if(DIFF_TOOL)
+        execute_process(COMMAND ${DIFF_TOOL} -u ${GOLDEN} ${OUT}
+                        OUTPUT_VARIABLE diff_text)
+        message(STATUS "diff (golden vs actual):\n${diff_text}")
+    endif()
+    message(FATAL_ERROR
+            "golden: output of ${BINARY} differs from ${GOLDEN}.\n"
+            "If the change is intended, regenerate with:\n"
+            "  ${BINARY} ${ARGS} > ${GOLDEN}")
+endif()

@@ -231,6 +231,76 @@ TEST_F(Locks, SequentialOwnershipHandoff)
     EXPECT_EQ(op(0, MemOp::R, 500).data, 1u + 2u + 3u + 4u);
 }
 
+TEST_F(Locks, LwaitChainOfThreeWaiters)
+{
+    // Three PEs pile up behind one lock (two more LRs and a plain read,
+    // one on a different word of the same block). A single UL wakes the
+    // whole chain; the retries then re-serialize behind the new holder.
+    op(0, MemOp::LR, 100);
+    EXPECT_TRUE(op(1, MemOp::LR, 100).lockWait);
+    EXPECT_TRUE(op(2, MemOp::R, 100).lockWait);
+    EXPECT_TRUE(op(3, MemOp::LR, 101).lockWait);
+    EXPECT_EQ(sys_.pendingWaiters(), (std::vector<PeId>{1, 2, 3}));
+    EXPECT_EQ(sys_.cache(0).lockDirectory().stateOf(100),
+              LockState::LWAIT);
+
+    const std::uint64_t ul_before =
+        sys_.bus().stats().cmdCounts[static_cast<int>(BusCmd::UL)];
+    op(0, MemOp::UW, 100, 7);
+    EXPECT_EQ(sys_.bus().stats().cmdCounts[static_cast<int>(BusCmd::UL)],
+              ul_before + 1); // one broadcast wakes all three
+    EXPECT_TRUE(sys_.pendingWaiters().empty());
+
+    // First retry wins the lock; the other two park behind it again.
+    EXPECT_FALSE(op(1, MemOp::LR, 100).lockWait);
+    EXPECT_TRUE(op(2, MemOp::R, 100).lockWait);
+    EXPECT_TRUE(op(3, MemOp::LR, 101).lockWait);
+    op(1, MemOp::UW, 100, 8);
+    EXPECT_EQ(op(2, MemOp::R, 100).data, 8u);
+    EXPECT_FALSE(op(3, MemOp::LR, 101).lockWait);
+    op(3, MemOp::U, 101);
+}
+
+TEST_F(Locks, UnlockAfterEvictionWithNoWaiterIsFree)
+{
+    // The locked block is swapped out while held; a plain U with no
+    // waiter must neither refetch the block nor touch the bus — the
+    // directory entry alone carries the release.
+    op(0, MemOp::LR, 0);
+    op(0, MemOp::R, 128);
+    op(0, MemOp::R, 256); // evicts block 0 (2 ways in its set)
+    ASSERT_FALSE(sys_.cache(0).present(0));
+
+    const Cycles before = sys_.bus().stats().totalCycles;
+    op(0, MemOp::U, 0);
+    EXPECT_EQ(sys_.bus().stats().totalCycles, before);
+    EXPECT_FALSE(sys_.cache(0).present(0)); // no refetch
+    EXPECT_EQ(sys_.cache(0).stats().unlockNoWaiter, 1u);
+    EXPECT_EQ(sys_.cache(0).lockDirectory().stateOf(0), LockState::EMP);
+    EXPECT_FALSE(op(1, MemOp::R, 0).lockWait);
+}
+
+TEST_F(Locks, LrOnErPurgedBlockRefetchesStaleData)
+{
+    // ER through the last word of a dirty block purges it without
+    // copy-back; a later LR on a word of that block must still acquire
+    // the lock, at the price of a stale memory fetch.
+    op(0, MemOp::W, 100, 55); // EM, dirty
+    for (Addr a = 100; a < 104; ++a)
+        op(0, MemOp::ER, a); // last word purges, no swap-out
+    ASSERT_FALSE(sys_.cache(0).present(100));
+    ASSERT_EQ(sys_.cache(0).stats().purgedDirty, 1u);
+
+    const auto lr = op(1, MemOp::LR, 101);
+    EXPECT_FALSE(lr.lockWait);
+    EXPECT_EQ(sys_.bus().stats().staleFetches, 1u);
+    EXPECT_EQ(sys_.cache(1).lockDirectory().stateOf(101), LockState::LCK);
+    // Memory never saw the purged write: the contract says the data was
+    // single-use, so the refetched copy is the stale 0.
+    EXPECT_EQ(lr.data, 0u);
+    op(1, MemOp::U, 101);
+}
+
 TEST(LockDirectoryUnit, SnoopTransitionsToLwait)
 {
     LockDirectory dir(0, 2);
