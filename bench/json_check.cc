@@ -8,8 +8,9 @@
  *
  * --schema=NAME prepends a built-in required-path set for the
  * repository's standard documents: `bench` (a table binary's --json
- * report), `sweep` (pim_sweep's SWEEP.json, docs/EXPERIMENTS.md) and
- * `sweep-perf` (its SWEEP.perf.json engine-throughput sidecar).
+ * report), `sweep` (pim_sweep's SWEEP.json, docs/EXPERIMENTS.md),
+ * `sweep-perf` (its SWEEP.perf.json engine-throughput sidecar) and
+ * `perf` (pim_perf's BENCH_perf.json snoop-filter throughput report).
  * Explicit --require paths are checked in addition.
  *
  * Exit codes: 0 = all files parse and all required paths resolve;
@@ -36,7 +37,8 @@ usage()
         "json_check FILE... [--schema=NAME] [--require=PATH ...]\n"
         "  Parses each FILE as JSON and verifies every --require dotted\n"
         "  path resolves (numeric segments index arrays).\n"
-        "  --schema adds a built-in path set: bench, sweep, sweep-perf.\n");
+        "  --schema adds a built-in path set: bench, sweep, sweep-perf,\n"
+        "  perf.\n");
 }
 
 /** Built-in required paths for @p schema; false if unknown. */
@@ -73,6 +75,22 @@ schemaPaths(const std::string& schema, std::vector<std::string>* out)
                 "sims_per_sec", "speedup_vs_serial"};
         return true;
     }
+    if (schema == "perf") {
+        // pim_perf's BENCH_perf.json snoop-filter throughput report.
+        *out = {"name",
+                "scale",
+                "pes",
+                "rows.0.bench",
+                "rows.0.pes_point",
+                "rows.0.mode",
+                "rows.0.refs",
+                "rows.0.refs_per_sec",
+                "rows.0.cycles_per_ref",
+                "rows.0.bus_transactions",
+                "rows.0.fingerprint",
+                "rows.0.speedup_vs_unfiltered"};
+        return true;
+    }
     return false;
 }
 
@@ -95,7 +113,7 @@ main(int argc, char** argv)
         if (!schemaPaths(schema, &required)) {
             std::fprintf(stderr,
                          "json_check: unknown schema '%s' (expected "
-                         "bench, sweep or sweep-perf)\n",
+                         "bench, sweep, sweep-perf or perf)\n",
                          schema.c_str());
             return 1;
         }

@@ -45,6 +45,7 @@ harnessFromOptions(const Options& opt)
     config.sets = static_cast<std::uint32_t>(opt.getInt("sets", 1));
     config.lockEntries =
         static_cast<std::uint32_t>(opt.getInt("lock-entries", 2));
+    config.snoopFilter = !opt.getBool("no-snoop-filter");
     const std::string mutate = opt.getString("mutate", "none");
     if (!parseProtocolMutation(mutate, &config.mutation)) {
         std::fprintf(stderr,

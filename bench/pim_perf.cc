@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Simulator-throughput harness for the exact bus-side snoop filter
+ * (docs/PERFORMANCE.md, ctest label `perf`).
+ *
+ * Unlike the table/figure binaries this does not reproduce a paper
+ * number: it measures the *simulator's* hot path. For each PE count it
+ * drives the identical randomized workload twice — once with the
+ * residency filter disabled (the legacy broadcast-snoop walk over every
+ * port) and once with it enabled — and reports wall-clock refs/sec,
+ * simulated cycles/ref and the filtered-vs-unfiltered speedup.
+ *
+ * The filter is exact, so both runs must be observationally identical;
+ * the harness enforces this by comparing the workload fingerprint, the
+ * simulated makespan, the bus transaction count and the protocol hash
+ * of the shared span, and exits 1 on any mismatch.
+ *
+ * The driver is deliberately lean (no auditor, watchdog, event sinks or
+ * ref tracing) so the measurement isolates System::access + Bus rather
+ * than the observability stack. Lock traffic holds at most one lock per
+ * PE, which cannot deadlock (no hold-and-wait).
+ *
+ *   pim_perf [--pes=N] [--scale=N] [--reps=N] [--smoke]
+ *            [--min-speedup=X] [--json=PATH]
+ *
+ * --min-speedup=X fails (exit 1) if the largest PE point's speedup is
+ * below X. --smoke shrinks the grid for CI, where wall-clock ratios on
+ * loaded machines are noise — it checks the exactness invariants and the
+ * JSON schema, not the speedup.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "bus/bus.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "sim/system.h"
+
+using namespace pim;
+using namespace pim::kl1::bench;
+
+namespace {
+
+/** Fingerprint mixer (splitmix64 finalizer over a running hash). */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    std::uint64_t z = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Multiply-shift uniform draw in [0, n) — the driver sits on the same
+ * hot path it measures, so it avoids Rng::below's rejection loop and
+ * modulo (the tiny bias is irrelevant for workload generation).
+ */
+std::uint64_t
+draw(Rng& rng, std::uint64_t n)
+{
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(rng.next()) * n) >> 64);
+}
+
+/** One timed run's observables. */
+struct Measurement {
+    double seconds = 0;            ///< Best wall time over the reps.
+    std::uint64_t fingerprint = 0; ///< Op/addr/data stream hash.
+    std::uint64_t makespan = 0;    ///< Simulated cycles (max PE clock).
+    std::uint64_t busTrans = 0;    ///< Bus transactions issued.
+    std::uint64_t protoHash = 0;   ///< Protocol hash of the shared span.
+};
+
+/**
+ * Workload shape: bus-heavy so the per-port snoop walk dominates. The
+ * defaults are the filter's showcase, not its worst case: a span far
+ * larger than the 4K-word caches (high miss rate, so most references
+ * reach the bus), write-heavy traffic (every write hit in shared state
+ * broadcasts an invalidate), and no locks — lock words are cached by
+ * every contender, so their residency masks are dense and a filtered
+ * walk visits nearly as many ports as a broadcast. The lock path stays
+ * exercised via --lock-pct (and by the stress/conformance suites).
+ */
+struct Shape {
+    Addr spanWords = 32768; ///< >> cache capacity: high miss rate.
+    std::uint32_t writePct = 70;
+    std::uint32_t lockPct = 0;
+    std::uint32_t optPct = 30; ///< DW -> ER/RP share.
+};
+
+/**
+ * Drive @p steps random references over @p pes PEs with the snoop
+ * filter on or off, repeated @p reps times; keeps the fastest wall
+ * time. Every rep is the same pure function of the seed, so the
+ * non-timing observables are identical across reps.
+ */
+Measurement
+runWorkload(std::uint32_t pes, std::uint64_t steps, bool filter,
+            std::uint32_t reps, std::uint64_t seed, const Shape& shape)
+{
+    Measurement m;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+        SystemConfig sys_config;
+        sys_config.numPes = pes;
+        sys_config.snoopFilter = filter;
+        const std::uint64_t block = sys_config.cache.geometry.blockWords;
+        const Addr lock_base = shape.spanWords;
+        const std::uint32_t lock_words = std::max<std::uint32_t>(1, pes / 2);
+        const Addr rec_base =
+            (lock_base + lock_words + block - 1) / block * block;
+        sys_config.memoryWords =
+            (rec_base + (steps + 2) * block + block - 1) / block * block;
+        sys_config.validate();
+        System system(sys_config);
+
+        struct PeState {
+            bool hasRetry = false;
+            MemOp retryOp = MemOp::R;
+            Addr retryAddr = 0;
+            Word retryData = 0;
+            Addr heldLock = 0;
+            bool holdsLock = false;
+        };
+        std::vector<PeState> state(pes);
+        std::vector<Addr> records;
+        Addr next_record = rec_base;
+        std::uint64_t fingerprint = 0;
+        Rng rng(seed);
+
+        const auto start = std::chrono::steady_clock::now();
+        std::uint64_t completed = 0;
+        while (completed < steps) {
+            const PeId pe = system.earliestRunnable();
+            PeState& st = state[pe];
+            MemOp op;
+            Addr addr;
+            Word wdata = 0;
+            if (st.hasRetry) {
+                op = st.retryOp;
+                addr = st.retryAddr;
+                wdata = st.retryData;
+            } else {
+                const std::uint64_t roll = draw(rng, 100);
+                if (roll < shape.lockPct) {
+                    // Hold-at-most-one discipline: a holder always
+                    // releases before acquiring again, so lock traffic
+                    // can never close a busy-wait cycle.
+                    if (st.holdsLock) {
+                        addr = st.heldLock;
+                        if ((rng.next() & 1) != 0) {
+                            op = MemOp::UW;
+                            wdata = rng.next();
+                        } else {
+                            op = MemOp::U;
+                        }
+                    } else {
+                        op = MemOp::LR;
+                        addr = lock_base + draw(rng, lock_words);
+                    }
+                } else if (roll < shape.lockPct + shape.optPct) {
+                    if (!records.empty() && (rng.next() & 1) != 0) {
+                        addr = records.back();
+                        records.pop_back();
+                        op = (rng.next() & 1) != 0 ? MemOp::ER : MemOp::RP;
+                    } else {
+                        op = MemOp::DW;
+                        addr = next_record;
+                        next_record += block;
+                        wdata = rng.next();
+                    }
+                } else {
+                    addr = draw(rng, shape.spanWords);
+                    if (draw(rng, 100) < shape.writePct) {
+                        op = MemOp::W;
+                        wdata = rng.next();
+                    } else {
+                        op = MemOp::R;
+                    }
+                }
+            }
+
+            const System::Access access =
+                system.access(pe, op, addr, Area::Heap, wdata);
+            if (access.lockWait) {
+                st.hasRetry = true;
+                st.retryOp = op;
+                st.retryAddr = addr;
+                st.retryData = wdata;
+                continue;
+            }
+            st.hasRetry = false;
+            if (op == MemOp::LR) {
+                st.holdsLock = true;
+                st.heldLock = addr;
+            } else if (op == MemOp::UW || op == MemOp::U) {
+                st.holdsLock = false;
+            }
+            if (op == MemOp::DW)
+                records.push_back(addr);
+            completed += 1;
+            fingerprint = mix(fingerprint,
+                              (static_cast<std::uint64_t>(pe) << 8) |
+                                  static_cast<std::uint64_t>(op));
+            fingerprint = mix(fingerprint, addr);
+            fingerprint = mix(fingerprint, access.data);
+        }
+        // Drain: release held locks so no PE is left parked at teardown.
+        // Pick the earliest-clock unparked PE that still has work; one
+        // always exists because every parked PE waits on a lock whose
+        // holder is unparked (hold-at-most-one).
+        for (;;) {
+            PeId pe = kNoPe;
+            bool anything_left = false;
+            for (PeId p = 0; p < system.numPes(); ++p) {
+                if (system.parked(p)) {
+                    anything_left = true;
+                    continue;
+                }
+                if (!state[p].hasRetry && !state[p].holdsLock)
+                    continue;
+                anything_left = true;
+                if (pe == kNoPe || system.clock(p) < system.clock(pe))
+                    pe = p;
+            }
+            if (!anything_left)
+                break;
+            PeState& st = state[pe];
+            MemOp op = MemOp::U;
+            Addr addr;
+            Word wdata = 0;
+            if (st.hasRetry) {
+                op = st.retryOp;
+                addr = st.retryAddr;
+                wdata = st.retryData;
+            } else {
+                addr = st.heldLock;
+            }
+            const System::Access access =
+                system.access(pe, op, addr, Area::Heap, wdata);
+            if (access.lockWait) {
+                st.hasRetry = true;
+                st.retryOp = op;
+                st.retryAddr = addr;
+                st.retryData = wdata;
+                continue;
+            }
+            st.hasRetry = false;
+            if (op == MemOp::LR) {
+                st.holdsLock = true;
+                st.heldLock = addr;
+            } else if (op == MemOp::UW || op == MemOp::U) {
+                st.holdsLock = false;
+            }
+            fingerprint = mix(fingerprint, addr);
+        }
+        const auto stop = std::chrono::steady_clock::now();
+
+        const double seconds =
+            std::chrono::duration<double>(stop - start).count();
+        if (rep == 0 || seconds < m.seconds)
+            m.seconds = seconds;
+        m.fingerprint = fingerprint;
+        m.makespan = system.makespan();
+        m.busTrans = 0;
+        for (int p = 0; p < kNumBusPatterns; ++p)
+            m.busTrans += system.bus().stats().transByPattern[p];
+        m.protoHash = system.protocolHash(0, shape.spanWords);
+    }
+    return m;
+}
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+fmt(const char* spec, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, spec, v);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    BenchContext ctx = BenchContext::parse(argc, argv);
+    // The filter's payoff grows with the port count, so this harness
+    // defaults to 16 PEs (the paper's largest configuration) rather than
+    // the table binaries' 8.
+    ctx.pes = static_cast<std::uint32_t>(
+        ctx.options.getIntEnv("pes", "REPRO_PES", 16));
+    const bool smoke = ctx.options.getBool("smoke");
+    std::uint32_t reps = static_cast<std::uint32_t>(
+        ctx.options.getInt("reps", smoke ? 1 : 3));
+    std::uint64_t steps = 40000ull * ctx.scale;
+    std::uint32_t max_pes = std::max<std::uint32_t>(1, ctx.pes);
+    if (smoke) {
+        steps = std::min<std::uint64_t>(steps, 4000);
+        max_pes = std::min<std::uint32_t>(max_pes, 4);
+    }
+    const double min_speedup =
+        std::strtod(ctx.options.getString("min-speedup", "0").c_str(),
+                    nullptr);
+
+    Shape shape;
+    shape.spanWords = static_cast<Addr>(
+        ctx.options.getInt("span", static_cast<std::int64_t>(
+                                       shape.spanWords)));
+    shape.writePct = static_cast<std::uint32_t>(
+        ctx.options.getInt("write-pct", shape.writePct));
+    shape.lockPct = static_cast<std::uint32_t>(
+        ctx.options.getInt("lock-pct", shape.lockPct));
+    shape.optPct = static_cast<std::uint32_t>(
+        ctx.options.getInt("opt-pct", shape.optPct));
+
+    banner("pim_perf: snoop-filter simulator throughput", ctx);
+    std::printf("%llu refs/point, best of %u reps, span %llu words "
+                "(docs/PERFORMANCE.md)\n\n",
+                static_cast<unsigned long long>(steps), reps,
+                static_cast<unsigned long long>(shape.spanWords));
+
+    BenchJson json(ctx, "perf");
+
+    std::vector<std::uint32_t> pe_points;
+    for (std::uint32_t p = 1; p < max_pes; p *= 2)
+        pe_points.push_back(p);
+    pe_points.push_back(max_pes);
+
+    Table table("measured: refs/sec, filter off vs on (identical runs)");
+    table.setHeader({"PEs", "cycles/ref", "refs/s off", "refs/s on",
+                     "speedup"});
+
+    int failures = 0;
+    double last_speedup = 0;
+    for (std::uint32_t pes : pe_points) {
+        const Measurement off = runWorkload(pes, steps, /*filter=*/false,
+                                            reps, /*seed=*/1, shape);
+        const Measurement on = runWorkload(pes, steps, /*filter=*/true,
+                                           reps, /*seed=*/1, shape);
+
+        // Exactness gate: the filter must not change a single observable.
+        if (off.fingerprint != on.fingerprint ||
+            off.makespan != on.makespan || off.busTrans != on.busTrans ||
+            off.protoHash != on.protoHash) {
+            std::printf("FAIL: filter changed the run at %u PEs "
+                        "(fingerprint %s vs %s, makespan %llu vs %llu, "
+                        "bus %llu vs %llu, proto %s vs %s)\n",
+                        pes, hex(off.fingerprint).c_str(),
+                        hex(on.fingerprint).c_str(),
+                        static_cast<unsigned long long>(off.makespan),
+                        static_cast<unsigned long long>(on.makespan),
+                        static_cast<unsigned long long>(off.busTrans),
+                        static_cast<unsigned long long>(on.busTrans),
+                        hex(off.protoHash).c_str(),
+                        hex(on.protoHash).c_str());
+            ++failures;
+            continue;
+        }
+
+        const double total_refs = static_cast<double>(steps);
+        const double rps_off = total_refs / off.seconds;
+        const double rps_on = total_refs / on.seconds;
+        const double speedup = rps_on / rps_off;
+        const double cycles_per_ref =
+            static_cast<double>(on.makespan) / total_refs;
+        last_speedup = speedup;
+
+        table.addRow({std::to_string(pes), fmt("%.1f", cycles_per_ref),
+                      fmt("%.0f", rps_off), fmt("%.0f", rps_on),
+                      fmt("%.2fx", speedup)});
+
+        for (int mode = 0; mode < 2; ++mode) {
+            const bool filtered = mode == 1;
+            const Measurement& m = filtered ? on : off;
+            json.row();
+            json.set("bench", "perf");
+            json.set("pes_point", pes);
+            json.set("mode", filtered ? "filtered" : "unfiltered");
+            json.set("refs", steps);
+            json.set("wall_seconds", m.seconds);
+            json.set("refs_per_sec", total_refs / m.seconds);
+            json.set("cycles_per_ref", cycles_per_ref);
+            json.set("bus_transactions", m.busTrans);
+            json.set("fingerprint", hex(m.fingerprint));
+            json.set("speedup_vs_unfiltered", filtered ? speedup : 1.0);
+        }
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("simulated observables (fingerprint, makespan, bus "
+                "transactions, protocol hash) identical in both modes "
+                "at every point\n");
+
+    if (failures == 0 && min_speedup > 0 &&
+        last_speedup < min_speedup) {
+        std::printf("FAIL: speedup %.2fx at %u PEs is below the "
+                    "--min-speedup=%.2f gate\n",
+                    last_speedup, pe_points.back(), min_speedup);
+        ++failures;
+    }
+
+    if (!json.write())
+        return 1;
+    if (json.enabled())
+        std::printf("json: %s\n", json.path().c_str());
+    return failures == 0 ? 0 : 1;
+}

@@ -50,6 +50,8 @@ usage()
         "                      with --trace-out only, dumped on failure\n"
         "                      as <trace-out>.timeline.json)\n"
         "  --no-audit          detach the coherence auditor\n"
+        "  --no-snoop-filter   disable the exact bus-side snoop filter\n"
+        "                      (identical outcomes; docs/PERFORMANCE.md)\n"
         "  --expect-fault      exit 0 iff a fault was detected\n"
         "  --seeds=N           batch: run seeds SEED..SEED+N-1 (default 1)\n"
         "  --jobs=N            batch worker threads (default: hardware);\n"
@@ -63,7 +65,7 @@ const char* const kKnownFlags[] = {
     "span",       "write-pct",  "lock-pct",  "opt-pct",
     "plan",       "trace-out",  "timeline-out", "no-audit",  "expect-fault",
     "replay",     "help",       "starvation-bound", "livelock-retries",
-    "seeds",      "jobs",
+    "seeds",      "jobs",       "no-snoop-filter",
 };
 
 /**
@@ -129,6 +131,7 @@ main(int argc, char** argv)
         config.traceOut = opts.getString("trace-out", "");
         config.timelineOut = opts.getString("timeline-out", "");
         config.audit = !opts.getBool("no-audit");
+        config.snoopFilter = !opts.getBool("no-snoop-filter");
         config.watchdog.starvationBound = static_cast<std::uint64_t>(
             opts.getInt("starvation-bound", 100000));
         config.watchdog.livelockRetries = static_cast<std::uint32_t>(

@@ -24,6 +24,16 @@ run_leg() {
     (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" ${CTEST_ARGS})
 }
 
+# Snoop-filter throughput smoke (docs/PERFORMANCE.md): checks the
+# filter-on/off exactness invariants and the BENCH_perf.json schema.
+# Ratios are not asserted — CI wall-clock is noise.
+perf_smoke() {
+    local dir="build-release"
+    echo "=== perf smoke (${dir}) ==="
+    "${dir}/bench/pim_perf" --smoke --json="${dir}/BENCH_perf.json"
+    "${dir}/bench/json_check" --schema=perf "${dir}/BENCH_perf.json"
+}
+
 coverage_report() {
     local dir="build-coverage"
     if command -v gcovr >/dev/null 2>&1; then
@@ -44,6 +54,7 @@ for leg in "${legs[@]}"; do
     case "${leg}" in
       release)
         run_leg release -DCMAKE_BUILD_TYPE=Release
+        perf_smoke
         ;;
       asan)
         run_leg asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPIM_SANITIZE=ON

@@ -10,12 +10,29 @@ namespace pim {
 Bus::Bus(const BusTiming& timing, PagedStore& memory)
     : timing_(timing), memory_(memory)
 {
+    residency_.setBlockWords(timing_.blockWords);
+    if (timing_.blockWords != 0 &&
+        (timing_.blockWords & (timing_.blockWords - 1)) == 0) {
+        blockShift_ = 0;
+        while ((1u << blockShift_) != timing_.blockWords)
+            ++blockShift_;
+    }
 }
 
 void
 Bus::attach(PeId pe, BusSnooper* cache, LockSnooper* locks)
 {
+    PIM_ASSERT(portOf(pe) == nullptr, "pe", pe, " attached twice");
+    // The filtered walk visits PEs in ascending id order; it may only
+    // replace the legacy walk (attach order) when the two orders agree,
+    // which every real System guarantees by constructing PE 0..N-1.
+    if (!ports_.empty() && pe < ports_.back().pe)
+        residency_.markInexact();
     ports_.push_back({pe, cache, locks});
+    if (portIndexByPe_.size() <= pe)
+        portIndexByPe_.resize(pe + 1, -1);
+    portIndexByPe_[pe] = static_cast<std::int32_t>(ports_.size() - 1);
+    residency_.registerPe(pe);
 }
 
 void
@@ -24,10 +41,42 @@ Bus::setUnlockListener(UnlockListener* listener)
     unlockListener_ = listener;
 }
 
+namespace {
+
+/** Lowest set bit's index; the filtered walks' PE iteration order. */
+inline PeId
+lowestPe(std::uint64_t mask)
+{
+    return static_cast<PeId>(__builtin_ctzll(mask));
+}
+
+/** Clear @p pe's bit (no-op when beyond the mask width). */
+inline std::uint64_t
+withoutPe(std::uint64_t mask, PeId pe)
+{
+    return pe < ResidencyFilter::kMaxPes ? mask & ~(1ull << pe) : mask;
+}
+
+} // namespace
+
 bool
 Bus::lockCheck(PeId requester, Addr block_addr, Cycles when)
 {
     bool lock_hit = false;
+    if (filterActive()) {
+        // Only directories with an entry in the block can answer LH or
+        // need the LCK -> LWAIT transition; all others are no-ops.
+        std::uint64_t mask =
+            withoutPe(residency_.lockMask(block_addr), requester);
+        while (mask != 0) {
+            const Port* port = portOf(lowestPe(mask));
+            mask &= mask - 1;
+            if (port->locks->snoopLockCheck(block_addr,
+                                            timing_.blockWords, when))
+                lock_hit = true;
+        }
+        return lock_hit;
+    }
     for (const Port& port : ports_) {
         if (port.pe == requester || port.locks == nullptr)
             continue;
@@ -99,38 +148,63 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
     }
 
     // Snoop the caches; the first holder supplies the data (H response).
-    for (const Port& port : ports_) {
-        if (port.pe == requester || port.cache == nullptr)
-            continue;
-        if (!result.supplied) {
-            // Injected fault: this cache's snoop reply is lost — it never
-            // sees the command, so its copy neither supplies nor degrades.
-            if (injector_ != nullptr &&
-                injector_->fire(FaultSite::DropSnoop)) {
-                continue;
+    if (filterActive()) {
+        // Only actual copy-holders are snooped (filter exactness: a PE
+        // outside the mask would reply {absent} and change no state).
+        // Bit order equals port order, so the same holder supplies.
+        std::uint64_t mask =
+            withoutPe(residency_.copyMask(block_addr), requester);
+        while (mask != 0) {
+            const Port* port = portOf(lowestPe(mask));
+            mask &= mask - 1;
+            if (!result.supplied) {
+                const BusSnooper::FetchReply reply = port->cache->snoopFetch(
+                    block_addr, invalidate, data_out, start);
+                if (reply.present) {
+                    result.supplied = true;
+                    result.supplierDirty = reply.dirty;
+                }
+            } else if (invalidate) {
+                if (port->cache->snoopInvalidate(block_addr, start))
+                    result.supplierDirty = true;
             }
-            BusSnooper::FetchReply reply =
-                port.cache->snoopFetch(block_addr, invalidate, data_out,
-                                       start);
-            if (reply.present && injector_ != nullptr &&
-                injector_->fire(FaultSite::DupSnoop)) {
-                // Injected fault: the snoop is delivered twice; the second
-                // reply (now from a downgraded copy) wins, so a dirty bit
-                // can silently vanish.
-                reply = port.cache->snoopFetch(block_addr, invalidate,
-                                               data_out, start);
-            }
-            if (reply.present) {
-                result.supplied = true;
-                result.supplierDirty = reply.dirty;
-            }
-        } else if (invalidate) {
-            // A non-supplier copy may be the dirty (SM) owner; its
-            // dirtiness migrates to the requester rather than vanishing.
-            if (port.cache->snoopInvalidate(block_addr, start))
-                result.supplierDirty = true;
+            // For plain F, non-supplier sharers keep their copies.
         }
-        // For plain F, non-supplier sharers keep their copies.
+    } else {
+        for (const Port& port : ports_) {
+            if (port.pe == requester || port.cache == nullptr)
+                continue;
+            if (!result.supplied) {
+                // Injected fault: this cache's snoop reply is lost — it
+                // never sees the command, so its copy neither supplies
+                // nor degrades.
+                if (injector_ != nullptr &&
+                    injector_->fire(FaultSite::DropSnoop)) {
+                    continue;
+                }
+                BusSnooper::FetchReply reply = port.cache->snoopFetch(
+                    block_addr, invalidate, data_out, start);
+                if (reply.present && injector_ != nullptr &&
+                    injector_->fire(FaultSite::DupSnoop)) {
+                    // Injected fault: the snoop is delivered twice; the
+                    // second reply (now from a downgraded copy) wins, so
+                    // a dirty bit can silently vanish.
+                    reply = port.cache->snoopFetch(block_addr, invalidate,
+                                                   data_out, start);
+                }
+                if (reply.present) {
+                    result.supplied = true;
+                    result.supplierDirty = reply.dirty;
+                }
+            } else if (invalidate) {
+                // A non-supplier copy may be the dirty (SM) owner; its
+                // dirtiness migrates to the requester rather than
+                // vanishing.
+                if (port.cache->snoopInvalidate(block_addr, start))
+                    result.supplierDirty = true;
+            }
+            // For plain F, non-supplier sharers keep their copies.
+        }
     }
 
     Cycles cost = 0;
@@ -139,9 +213,8 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
         pattern = dirty_victim ? BusPattern::C2CVictim : BusPattern::C2C;
         cost = timing_.cacheToCacheCycles(dirty_victim);
     } else {
-        for (std::uint32_t w = 0; w < timing_.blockWords; ++w)
-            data_out[w] = memory_.read(block_addr + w);
-        if (purgedDirty_.count(block_addr) != 0)
+        memory_.readSpan(block_addr, timing_.blockWords, data_out);
+        if (purgedDirtyMarked(block_addr))
             stats_.staleFetches += 1;
         stats_.memoryBusyCycles += timing_.memAccessCycles;
         stats_.memoryReads += 1;
@@ -217,11 +290,22 @@ Bus::invalidate(PeId requester, Addr block_addr, bool with_lock,
         }
     }
 
-    for (const Port& port : ports_) {
-        if (port.pe == requester || port.cache == nullptr)
-            continue;
-        if (port.cache->snoopInvalidate(block_addr, start))
-            result.droppedDirty = true;
+    if (filterActive()) {
+        std::uint64_t mask =
+            withoutPe(residency_.copyMask(block_addr), requester);
+        while (mask != 0) {
+            const Port* port = portOf(lowestPe(mask));
+            mask &= mask - 1;
+            if (port->cache->snoopInvalidate(block_addr, start))
+                result.droppedDirty = true;
+        }
+    } else {
+        for (const Port& port : ports_) {
+            if (port.pe == requester || port.cache == nullptr)
+                continue;
+            if (port.cache->snoopInvalidate(block_addr, start))
+                result.droppedDirty = true;
+        }
     }
     const Cycles cost = timing_.invalidateCycles();
     stats_.account(BusPattern::Invalidate, cost, area, requester);
@@ -246,11 +330,29 @@ Bus::invalidate(PeId requester, Addr block_addr, bool with_lock,
 }
 
 void
+Bus::setPurgeMark(Addr block_addr, bool marked)
+{
+    const std::size_t index = blockIndexOf(block_addr);
+    const std::size_t word = index >> 6;
+    if (word >= purgedDirty_.size()) {
+        if (!marked)
+            return;
+        std::size_t size = purgedDirty_.empty() ? 64 : purgedDirty_.size();
+        while (size <= word)
+            size *= 2;
+        purgedDirty_.resize(size, 0);
+    }
+    if (marked)
+        purgedDirty_[word] |= 1ull << (index & 63);
+    else
+        purgedDirty_[word] &= ~(1ull << (index & 63));
+}
+
+void
 Bus::writeBackData(Addr block_addr, const Word* data)
 {
-    for (std::uint32_t w = 0; w < timing_.blockWords; ++w)
-        memory_.write(block_addr + w, data[w]);
-    purgedDirty_.erase(block_addr);
+    memory_.writeSpan(block_addr, timing_.blockWords, data);
+    setPurgeMark(block_addr, false);
     stats_.memoryBusyCycles += timing_.memAccessCycles;
     stats_.memoryWrites += 1;
 }
@@ -258,19 +360,19 @@ Bus::writeBackData(Addr block_addr, const Word* data)
 void
 Bus::markPurgedDirty(Addr block_addr)
 {
-    purgedDirty_.insert(block_addr);
+    setPurgeMark(block_addr, true);
 }
 
 void
 Bus::noteFreshAllocation(Addr block_addr)
 {
-    purgedDirty_.erase(block_addr);
+    setPurgeMark(block_addr, false);
 }
 
 void
 Bus::clearPurgedMarks()
 {
-    purgedDirty_.clear();
+    purgedDirty_.assign(purgedDirty_.size(), 0);
 }
 
 Cycles
@@ -330,13 +432,23 @@ Bus::writeWordThrough(PeId requester, Addr word_addr, Word value,
     const Cycles start = std::max(when, freeAt_);
     const Addr block_addr = word_addr - word_addr % timing_.blockWords;
     memory_.write(word_addr, value);
-    purgedDirty_.erase(block_addr);
+    setPurgeMark(block_addr, false);
     stats_.memoryBusyCycles += timing_.memAccessCycles;
     stats_.memoryWrites += 1;
-    for (const Port& port : ports_) {
-        if (port.pe == requester || port.cache == nullptr)
-            continue;
-        port.cache->snoopInvalidate(block_addr, start);
+    if (filterActive()) {
+        std::uint64_t mask =
+            withoutPe(residency_.copyMask(block_addr), requester);
+        while (mask != 0) {
+            const Port* port = portOf(lowestPe(mask));
+            mask &= mask - 1;
+            port->cache->snoopInvalidate(block_addr, start);
+        }
+    } else {
+        for (const Port& port : ports_) {
+            if (port.pe == requester || port.cache == nullptr)
+                continue;
+            port.cache->snoopInvalidate(block_addr, start);
+        }
     }
     const Cycles cost = timing_.wordWriteCycles();
     stats_.account(BusPattern::WordWrite, cost, area, requester);
@@ -359,30 +471,42 @@ Bus::writeWordThrough(PeId requester, Addr word_addr, Word value,
 void
 Bus::readMemoryBlock(Addr block_addr, Word* data_out) const
 {
-    for (std::uint32_t w = 0; w < timing_.blockWords; ++w)
-        data_out[w] = memory_.read(block_addr + w);
+    memory_.readSpan(block_addr, timing_.blockWords, data_out);
 }
 
 void
 Bus::writeMemoryBlock(Addr block_addr, const Word* data)
 {
-    for (std::uint32_t w = 0; w < timing_.blockWords; ++w)
-        memory_.write(block_addr + w, data[w]);
+    memory_.writeSpan(block_addr, timing_.blockWords, data);
 }
 
 void
 Bus::snapshotPurgeMarks(Addr lo, Addr hi,
                         std::vector<std::uint64_t>& out) const
 {
-    std::vector<Addr> marks;
-    for (Addr mark : purgedDirty_) {
-        if (mark >= lo && mark < hi)
-            marks.push_back(mark);
+    // The bitmap is block-index-ordered, so the range walk is already in
+    // address order — no per-call vector rebuild and sort, which the
+    // BFS explorer used to pay on every canonicalization.
+    const std::size_t count_slot = out.size();
+    out.push_back(0);
+    std::uint64_t count = 0;
+    const std::uint32_t block = timing_.blockWords;
+    std::size_t index = blockIndexOf(lo + block - 1); // First base >= lo.
+    for (; index * block < hi; ++index) {
+        const std::size_t word = index >> 6;
+        if (word >= purgedDirty_.size())
+            break;
+        if (purgedDirty_[word] == 0) {
+            // Skip the rest of an empty 64-block run in one step.
+            index = (word + 1) * 64 - 1;
+            continue;
+        }
+        if ((purgedDirty_[word] & (1ull << (index & 63))) != 0) {
+            out.push_back(static_cast<std::uint64_t>(index) * block);
+            ++count;
+        }
     }
-    std::sort(marks.begin(), marks.end());
-    out.push_back(marks.size());
-    for (Addr mark : marks)
-        out.push_back(mark);
+    out[count_slot] = count;
 }
 
 } // namespace pim

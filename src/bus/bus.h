@@ -16,9 +16,9 @@
 #define PIMCACHE_BUS_BUS_H_
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
+#include "bus/residency_filter.h"
 #include "bus/timing.h"
 #include "common/types.h"
 #include "fault/fault_injector.h"
@@ -150,7 +150,11 @@ class Bus
   public:
     Bus(const BusTiming& timing, PagedStore& memory);
 
-    /** Attach one PE's cache and lock directory snoopers. */
+    /**
+     * Attach one PE's cache and lock directory snoopers. Each PE may be
+     * attached at most once; the PE id doubles as the port's bit in the
+     * residency filter masks.
+     */
     void attach(PeId pe, BusSnooper* cache, LockSnooper* locks);
 
     /** Register the UL observer (at most one; typically the System). */
@@ -237,7 +241,9 @@ class Bus
     bool
     purgedDirtyMarked(Addr block_addr) const
     {
-        return purgedDirty_.count(block_addr) != 0;
+        const std::size_t index = blockIndexOf(block_addr);
+        return (index >> 6) < purgedDirty_.size() &&
+               (purgedDirty_[index >> 6] & (1ull << (index & 63))) != 0;
     }
 
     /**
@@ -255,6 +261,40 @@ class Bus
 
     /** Write a block to shared memory without bus involvement (init). */
     void writeMemoryBlock(Addr block_addr, const Word* data);
+
+    // -- Residency filter (docs/PERFORMANCE.md) ---------------------------
+
+    /**
+     * Enable / disable the snoop filter's *query* path (maintenance is
+     * always on, so the filter can be re-enabled mid-run). Disabled, the
+     * bus broadcasts every snoop to all ports — the pre-filter behavior
+     * pim_perf measures against and pim_conform fuzzes differentially.
+     */
+    void setSnoopFilterEnabled(bool enabled) { filterEnabled_ = enabled; }
+    bool snoopFilterEnabled() const { return filterEnabled_; }
+
+    /** @p pe's cache gained a valid copy of @p block_addr. */
+    void
+    noteBlockPresent(PeId pe, Addr block_addr)
+    {
+        residency_.addCopy(pe, block_addr);
+    }
+
+    /** @p pe's cache dropped its copy of @p block_addr. */
+    void
+    noteBlockAbsent(PeId pe, Addr block_addr)
+    {
+        residency_.removeCopy(pe, block_addr);
+    }
+
+    /** @p pe's lock directory residency in @p block_addr changed. */
+    void
+    noteLockResidency(PeId pe, Addr block_addr, bool resident)
+    {
+        residency_.setLockResident(pe, block_addr, resident);
+    }
+
+    const ResidencyFilter& residency() const { return residency_; }
 
     const BusTiming& timing() const { return timing_; }
     BusStats& stats() { return stats_; }
@@ -275,15 +315,57 @@ class Bus
     /** Report one transaction to the sink (no-op when none attached). */
     void emitTxn(const BusTxnEvent& event);
 
+    /**
+     * True when snoops may be directed by the residency masks. Requires
+     * the filter to be exact and no fault injector: the injector draws
+     * one RNG decision per *visited* port, so a filtered walk would
+     * shift the fault sequence and break seed replay.
+     */
+    bool
+    filterActive() const
+    {
+        return filterEnabled_ && residency_.exact() && injector_ == nullptr;
+    }
+
+    /** The port attached for @p pe (never null on the filtered path). */
+    const Port*
+    portOf(PeId pe) const
+    {
+        return pe < portIndexByPe_.size() && portIndexByPe_[pe] >= 0
+                   ? &ports_[static_cast<std::size_t>(portIndexByPe_[pe])]
+                   : nullptr;
+    }
+
+    /** Block number of @p block_addr (purge-mark bitmap index). */
+    std::size_t
+    blockIndexOf(Addr block_addr) const
+    {
+        return static_cast<std::size_t>(
+            blockShift_ >= 0 ? block_addr >> blockShift_
+                             : block_addr / timing_.blockWords);
+    }
+
+    void setPurgeMark(Addr block_addr, bool marked);
+
     BusTiming timing_;
     PagedStore& memory_;
     std::vector<Port> ports_;
+    std::vector<std::int32_t> portIndexByPe_; ///< PE id -> ports_ index.
+    ResidencyFilter residency_;
+    bool filterEnabled_ = true;
     UnlockListener* unlockListener_ = nullptr;
     FaultInjector* injector_ = nullptr;
     EventSink* sink_ = nullptr;
     Cycles freeAt_ = 0;
     BusStats stats_;
-    std::unordered_set<Addr> purgedDirty_;
+    int blockShift_ = -1; ///< log2(blockWords) when a power of two.
+    /**
+     * Bit per block number, set while the block's last dirty copy was
+     * purged without copy-back. Index-ordered, so snapshotPurgeMarks
+     * walks a range in address order without any per-call sort, and the
+     * per-fetch membership test is one load.
+     */
+    std::vector<std::uint64_t> purgedDirty_;
 };
 
 } // namespace pim

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Exact bus-side residency filter (docs/PERFORMANCE.md).
+ *
+ * Tracks, per cache block, (a) the set of PEs whose cache holds a valid
+ * copy and (b) the set of PEs whose lock directory has an entry (or an
+ * injected ghost) on a word of the block. Both sets are maintained
+ * eagerly by the components that own the state — PimCache on every
+ * INV<->valid transition, LockDirectory on every acquire/release — so
+ * the bus can direct snoops, invalidations and lock checks to exactly
+ * the PEs that can respond instead of broadcasting to all P ports.
+ *
+ * The filter is *exact*, not approximate: a PE is in a block's copy set
+ * if and only if its cache holds the block, so skipping the other PEs
+ * is observationally identical to snooping them (an absent copy neither
+ * supplies data nor changes state, and an empty lock directory never
+ * answers LH). Protocol outcomes, statistics and timing are bit-for-bit
+ * unchanged — which the conformance engine (src/model) verifies by
+ * fuzzing with the filter on and off.
+ *
+ * The masks live in dense arrays indexed by block number (the filter
+ * maintenance rides on every fill and eviction, so it must be a couple
+ * of loads, not a hash probe). Pages of the array materialize as the
+ * address space is touched, like PagedStore.
+ *
+ * PEs are tracked as bits of a 64-bit mask. A system with more than 64
+ * PEs degrades gracefully: the filter marks itself inexact and the bus
+ * falls back to the full broadcast scan.
+ */
+
+#ifndef PIMCACHE_BUS_RESIDENCY_FILTER_H_
+#define PIMCACHE_BUS_RESIDENCY_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pim {
+
+/** Per-block PE presence masks for copies and lock entries. */
+class ResidencyFilter
+{
+  public:
+    /** Widest PE set a mask can represent. */
+    static constexpr std::uint32_t kMaxPes = 64;
+
+    /**
+     * Set the block size the bus dispatches at; block addresses passed
+     * to the mask updaters are multiples of this. Must be called before
+     * any residency note (the Bus constructor does).
+     */
+    void
+    setBlockWords(std::uint32_t block_words)
+    {
+        blockWords_ = block_words == 0 ? 1 : block_words;
+        shift_ = -1;
+        if ((blockWords_ & (blockWords_ - 1)) == 0) {
+            shift_ = 0;
+            while ((1u << shift_) != blockWords_)
+                ++shift_;
+        }
+    }
+
+    /**
+     * Note that @p pe participates in the system. A PE beyond the mask
+     * width makes the filter inexact (the bus then broadcasts).
+     */
+    void
+    registerPe(PeId pe)
+    {
+        if (pe >= kMaxPes)
+            exact_ = false;
+    }
+
+    /**
+     * True while every residency change has been representable. The bus
+     * consults masks only while exact.
+     */
+    bool exact() const { return exact_; }
+
+    /**
+     * Permanently disable mask queries (e.g. the bus detected a port
+     * layout the masks cannot reproduce faithfully).
+     */
+    void markInexact() { exact_ = false; }
+
+    /** @p pe's cache now holds a valid copy of @p block. */
+    void
+    addCopy(PeId pe, Addr block)
+    {
+        if (pe >= kMaxPes) {
+            exact_ = false;
+            return;
+        }
+        slot(copies_, indexOf(block)) |= bit(pe);
+    }
+
+    /** @p pe's cache no longer holds @p block. */
+    void
+    removeCopy(PeId pe, Addr block)
+    {
+        if (pe >= kMaxPes)
+            return;
+        const std::size_t index = indexOf(block);
+        if (index < copies_.size())
+            copies_[index] &= ~bit(pe);
+    }
+
+    /**
+     * @p pe's lock directory now does / does not contain an entry (or a
+     * ghost) on a word of @p block. Idempotent: directories re-assert
+     * the block's residency after every change.
+     */
+    void
+    setLockResident(PeId pe, Addr block, bool resident)
+    {
+        if (pe >= kMaxPes) {
+            if (resident)
+                exact_ = false;
+            return;
+        }
+        const std::size_t index = indexOf(block);
+        if (resident) {
+            slot(locks_, index) |= bit(pe);
+        } else if (index < locks_.size()) {
+            locks_[index] &= ~bit(pe);
+        }
+    }
+
+    /** PEs holding a valid copy of @p block (bit i = PE i). */
+    std::uint64_t
+    copyMask(Addr block) const
+    {
+        const std::size_t index = indexOf(block);
+        return index < copies_.size() ? copies_[index] : 0;
+    }
+
+    /** PEs with a lock entry or ghost on a word of @p block. */
+    std::uint64_t
+    lockMask(Addr block) const
+    {
+        const std::size_t index = indexOf(block);
+        return index < locks_.size() ? locks_[index] : 0;
+    }
+
+    /** Blocks with at least one cached copy (introspection). */
+    std::size_t trackedCopyBlocks() const { return nonZero(copies_); }
+
+    /** Blocks with at least one lock entry (introspection). */
+    std::size_t trackedLockBlocks() const { return nonZero(locks_); }
+
+  private:
+    static std::uint64_t bit(PeId pe) { return 1ull << pe; }
+
+    std::size_t
+    indexOf(Addr block) const
+    {
+        return static_cast<std::size_t>(
+            shift_ >= 0 ? block >> shift_ : block / blockWords_);
+    }
+
+    /** The mask cell for @p index, growing the array on first touch. */
+    static std::uint64_t&
+    slot(std::vector<std::uint64_t>& masks, std::size_t index)
+    {
+        if (index >= masks.size()) {
+            std::size_t size = masks.empty() ? 1024 : masks.size();
+            while (size <= index)
+                size *= 2;
+            masks.resize(size, 0);
+        }
+        return masks[index];
+    }
+
+    static std::size_t
+    nonZero(const std::vector<std::uint64_t>& masks)
+    {
+        std::size_t count = 0;
+        for (std::uint64_t mask : masks)
+            count += mask != 0 ? 1 : 0;
+        return count;
+    }
+
+    bool exact_ = true;
+    std::uint32_t blockWords_ = 1;
+    int shift_ = 0; ///< log2(blockWords_) when a power of two, else -1.
+    std::vector<std::uint64_t> copies_; ///< Block index -> PE copy mask.
+    std::vector<std::uint64_t> locks_;  ///< Block index -> lock mask.
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_BUS_RESIDENCY_FILTER_H_

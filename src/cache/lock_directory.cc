@@ -7,10 +7,43 @@
 
 namespace pim {
 
-LockDirectory::LockDirectory(PeId owner, std::uint32_t entries)
-    : owner_(owner), entries_(entries), slots_(entries)
+LockDirectory::LockDirectory(PeId owner, std::uint32_t entries, Bus* bus,
+                             std::uint32_t block_words)
+    : owner_(owner),
+      entries_(entries),
+      bus_(bus),
+      blockWords_(block_words),
+      slots_(entries)
 {
     PIM_ASSERT(entries >= 1);
+    PIM_ASSERT(bus == nullptr || block_words >= 1,
+               "a bus-connected lock directory needs the block size to "
+               "maintain block-granular lock residency");
+}
+
+void
+LockDirectory::refreshResidency(Addr word_addr)
+{
+    if (bus_ == nullptr)
+        return;
+    const Addr block = word_addr - word_addr % blockWords_;
+    bool resident = false;
+    for (const Entry& slot : slots_) {
+        if (slot.state != LockState::EMP && slot.addr >= block &&
+            slot.addr < block + blockWords_) {
+            resident = true;
+            break;
+        }
+    }
+    if (!resident) {
+        for (Addr ghost : ghosts_) {
+            if (ghost >= block && ghost < block + blockWords_) {
+                resident = true;
+                break;
+            }
+        }
+    }
+    bus_->noteLockResidency(owner_, block, resident);
 }
 
 void
@@ -22,6 +55,7 @@ LockDirectory::acquire(Addr word_addr, Cycles when)
         if (slot.state == LockState::EMP) {
             slot.addr = word_addr;
             slot.state = LockState::LCK;
+            refreshResidency(word_addr);
             if (sink_ != nullptr)
                 sink_->onLockTransition(owner_, word_addr, LockState::EMP,
                                         LockState::LCK, when);
@@ -74,6 +108,9 @@ LockDirectory::release(Addr word_addr, Cycles when)
             }
             slot.state = LockState::EMP;
             slot.addr = kNoAddr;
+            // After both the slot clear and a possible ghost insertion:
+            // a ghost in the same block keeps the block lock-resident.
+            refreshResidency(word_addr);
             if (sink_ != nullptr)
                 sink_->onLockTransition(owner_, word_addr, from,
                                         LockState::EMP, when);

@@ -31,8 +31,13 @@ class LockDirectory : public LockSnooper
     /**
      * @param owner PE owning this directory.
      * @param entries Number of simultaneously held locks supported.
+     * @param bus Bus whose residency filter to keep exact (nullptr for
+     *        a standalone directory, e.g. unit tests).
+     * @param block_words Block size used to map lock words to the
+     *        block-granular residency masks (required when @p bus set).
      */
-    LockDirectory(PeId owner, std::uint32_t entries);
+    LockDirectory(PeId owner, std::uint32_t entries, Bus* bus = nullptr,
+                  std::uint32_t block_words = 0);
 
     /**
      * Register a lock on @p word_addr in the LCK state at local time
@@ -110,8 +115,17 @@ class LockDirectory : public LockSnooper
         LockState state = LockState::EMP;
     };
 
+    /**
+     * Re-derive whether any entry or ghost falls in the block of
+     * @p word_addr and push the answer into the bus residency filter
+     * (no-op for a standalone directory).
+     */
+    void refreshResidency(Addr word_addr);
+
     PeId owner_;
     std::uint32_t entries_;
+    Bus* bus_ = nullptr;          ///< Residency filter target (optional).
+    std::uint32_t blockWords_ = 0; ///< Block size for residency mapping.
     std::vector<Entry> slots_;
     FaultInjector* injector_ = nullptr;
     EventSink* sink_ = nullptr;

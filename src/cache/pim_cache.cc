@@ -11,7 +11,7 @@ PimCache::PimCache(PeId pe, const CacheConfig& config, Bus& bus)
     : pe_(pe),
       config_(config),
       bus_(bus),
-      locks_(pe, config.lockEntries),
+      locks_(pe, config.lockEntries, &bus, config.geometry.blockWords),
       blocks_(static_cast<std::size_t>(config.geometry.sets) *
               config.geometry.ways),
       data_(static_cast<std::size_t>(config.geometry.sets) *
@@ -20,21 +20,22 @@ PimCache::PimCache(PeId pe, const CacheConfig& config, Bus& bus)
     config_.geometry.validate();
     PIM_ASSERT(config_.geometry.blockWords == bus.timing().blockWords,
                "cache block size must match the bus timing block size");
+    while ((1u << blockShift_) != config_.geometry.blockWords)
+        ++blockShift_;
+    setMask_ = config_.geometry.sets - 1;
     bus_.attach(pe_, this, &locks_);
 }
 
 std::uint32_t
 PimCache::setIndexOf(Addr block_base) const
 {
-    const Addr block_number = block_base / config_.geometry.blockWords;
-    return static_cast<std::uint32_t>(block_number &
-                                      (config_.geometry.sets - 1));
+    return static_cast<std::uint32_t>(block_base >> blockShift_) & setMask_;
 }
 
 Addr
 PimCache::blockBaseOf(Addr addr) const
 {
-    return addr - addr % config_.geometry.blockWords;
+    return addr & ~static_cast<Addr>(config_.geometry.blockWords - 1);
 }
 
 PimCache::Block*
@@ -175,6 +176,13 @@ PimCache::setState(Block& block, CacheState to, Cycles when)
 {
     if (sink_ != nullptr && block.state != to)
         sink_->onCacheTransition(pe_, block.base, block.state, to, when);
+    // Keep the bus residency filter exact: every INV <-> valid edge of
+    // any block funnels through here (the few direct state writes below
+    // notify the bus themselves).
+    if (block.state == CacheState::INV && to != CacheState::INV)
+        bus_.noteBlockPresent(pe_, block.base);
+    else if (block.state != CacheState::INV && to == CacheState::INV)
+        bus_.noteBlockAbsent(pe_, block.base);
     block.state = to;
 }
 
@@ -224,6 +232,7 @@ PimCache::doRead(const MemRef& ref, Cycles now)
     // or not) vanishes without copy-back and the read refetches.
     if (injector_ != nullptr && injector_->fire(FaultSite::ForcedMiss)) {
         if (Block* block = findBlock(base)) {
+            bus_.noteBlockAbsent(pe_, block->base);
             block->state = CacheState::INV;
             block->base = kNoAddr;
         }
@@ -608,6 +617,7 @@ PimCache::flushAll()
             continue;
         if (cacheStateDirty(block.state))
             bus_.writeMemoryBlock(block.base, blockData(block));
+        bus_.noteBlockAbsent(pe_, block.base);
         block.state = CacheState::INV;
         block.base = kNoAddr;
     }

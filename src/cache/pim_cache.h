@@ -188,6 +188,13 @@ class PimCache : public BusSnooper
 
     PeId pe_;
     CacheConfig config_;
+    /**
+     * Shift/mask forms of the validated power-of-two geometry, so the
+     * per-access address math (block base, set index) is two ALU ops
+     * instead of integer divisions (docs/PERFORMANCE.md).
+     */
+    std::uint32_t blockShift_ = 0; ///< log2(geometry.blockWords).
+    std::uint32_t setMask_ = 0;    ///< geometry.sets - 1.
     Bus& bus_;
     ProtocolMutation mutation_ = ProtocolMutation::None;
     FaultInjector* injector_ = nullptr;

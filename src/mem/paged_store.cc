@@ -24,6 +24,36 @@ PagedStore::write(Addr addr, Word value)
     pageFor(addr).words[addr % kPageWords] = value;
 }
 
+void
+PagedStore::readSpan(Addr addr, std::uint32_t count, Word* out) const
+{
+    PIM_ASSERT(count != 0 && addr / kPageWords ==
+                                 (addr + count - 1) / kPageWords,
+               "readSpan crosses a page boundary: ", addr, "+", count);
+    PIM_ASSERT(addr + count <= totalWords_,
+               "read past end of memory: ", addr);
+    const auto& page = pages_[addr / kPageWords];
+    if (!page) {
+        for (std::uint32_t w = 0; w < count; ++w)
+            out[w] = 0;
+        return;
+    }
+    const Word* words = &page->words[addr % kPageWords];
+    for (std::uint32_t w = 0; w < count; ++w)
+        out[w] = words[w];
+}
+
+void
+PagedStore::writeSpan(Addr addr, std::uint32_t count, const Word* data)
+{
+    PIM_ASSERT(count != 0 && addr / kPageWords ==
+                                 (addr + count - 1) / kPageWords,
+               "writeSpan crosses a page boundary: ", addr, "+", count);
+    Word* words = &pageFor(addr).words[addr % kPageWords];
+    for (std::uint32_t w = 0; w < count; ++w)
+        words[w] = data[w];
+}
+
 PagedStore::Page&
 PagedStore::pageFor(Addr addr)
 {

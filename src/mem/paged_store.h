@@ -30,6 +30,19 @@ class PagedStore
     /** Write one word. */
     void write(Addr addr, Word value);
 
+    /**
+     * Read @p count consecutive words starting at @p addr. The span must
+     * not cross a page boundary (cache blocks, the only bulk unit, are
+     * power-of-two sized and aligned, and pages are a multiple of every
+     * legal block size). One page lookup instead of @p count — the bus
+     * moves a block on every miss, so this is hot
+     * (docs/PERFORMANCE.md).
+     */
+    void readSpan(Addr addr, std::uint32_t count, Word* out) const;
+
+    /** Write @p count consecutive words; same alignment contract. */
+    void writeSpan(Addr addr, std::uint32_t count, const Word* data);
+
     /** Size of the address space in words. */
     std::uint64_t totalWords() const { return totalWords_; }
 

@@ -22,6 +22,7 @@ makeSystemConfig(const HarnessConfig& config)
     sys.cache.lockEntries = config.lockEntries;
     sys.memoryWords =
         std::max<std::uint64_t>(config.spanWords(), config.blockWords);
+    sys.snoopFilter = config.snoopFilter;
     sys.validate();
     return sys;
 }

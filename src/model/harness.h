@@ -45,6 +45,12 @@ struct HarnessConfig {
     std::uint32_t lockEntries = 2;
     /** Seeded protocol bug to arm (None = faithful protocol). */
     ProtocolMutation mutation = ProtocolMutation::None;
+    /**
+     * Exact bus-side snoop filter (docs/PERFORMANCE.md). The conform
+     * suite fuzzes with it on and off: both must match the RefMachine,
+     * which pins the filter's exactness.
+     */
+    bool snoopFilter = true;
 
     /** The explored address span is [0, spanWords()). */
     Addr

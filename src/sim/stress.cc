@@ -91,6 +91,8 @@ StressConfig::replayLine() const
         out << " --plan=" << planSpec;
     if (!audit)
         out << " --no-audit";
+    if (!snoopFilter)
+        out << " --no-snoop-filter";
     return out.str();
 }
 
@@ -118,6 +120,7 @@ runStress(const StressConfig& config)
     sys_config.cache.geometry.sets = config.sets;
     sys_config.memoryWords =
         (rec_base + (max_records + 1) * block + block - 1) / block * block;
+    sys_config.snoopFilter = config.snoopFilter;
     sys_config.validate();
 
     const FaultPlan plan = FaultPlan::parse(config.planSpec);

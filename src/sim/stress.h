@@ -49,6 +49,12 @@ struct StressConfig {
      */
     std::string timelineOut;
     bool audit = true;           ///< Attach the CoherenceAuditor.
+    /**
+     * Exact bus-side snoop filter (docs/PERFORMANCE.md). Outcomes are
+     * identical either way; off reproduces the pre-filter broadcast
+     * (pim_perf's A/B baseline, pim_conform's differential fuzz).
+     */
+    bool snoopFilter = true;
     WatchdogConfig watchdog;
 
     /** Geometry as "BxWxS" (e.g. "4x2x64"). */

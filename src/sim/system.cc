@@ -93,6 +93,7 @@ System::System(const SystemConfig& config)
             std::make_unique<PimCache>(pe, config_.cache, *bus_));
     }
     bus_->setUnlockListener(this);
+    bus_->setSnoopFilterEnabled(config_.snoopFilter);
 }
 
 System::~System()
@@ -123,15 +124,19 @@ System::access(PeId pe, MemOp op, Addr addr, Area area, Word wdata)
     ref.area = area;
     ref.op = config_.policy.apply(area, op);
 
-    for (AccessObserver* obs : observers_)
-        obs->beforeAccess(pe, ref.op, addr, area);
+    // Observer/sink hooks pay one emptiness/null test when detached —
+    // the common case on the measured hot path (docs/PERFORMANCE.md).
+    if (!observers_.empty()) {
+        for (AccessObserver* obs : observers_)
+            obs->beforeAccess(pe, ref.op, addr, area);
+    }
 
     const Cycles startedAt = clock_[pe];
     if (sink_ != nullptr)
         sink_->onAccessBegin(pe, ref.op, addr, area, startedAt);
 
     const PimCache::AccessResult result =
-        caches_[pe]->access(ref, wdata, clock_[pe]);
+        caches_[pe]->access(ref, wdata, startedAt);
     clock_[pe] = result.doneAt;
 
     // Close the operation before the observers run: an auditor throwing
@@ -142,10 +147,8 @@ System::access(PeId pe, MemOp op, Addr addr, Area area, Word wdata)
 
     Access out;
     if (result.lockWait) {
-        parkedOn_[pe] = result.waitAddr;
+        park(pe, result.waitAddr, result.doneAt);
         out.lockWait = true;
-        if (sink_ != nullptr)
-            sink_->onPark(pe, result.waitAddr, result.doneAt);
     } else {
         refStats_.record(ref);
         if (refObserver_)
@@ -153,9 +156,11 @@ System::access(PeId pe, MemOp op, Addr addr, Area area, Word wdata)
         out.data = result.data;
     }
 
-    for (AccessObserver* obs : observers_) {
-        obs->afterAccess(pe, ref.op, addr, area, out.data, wdata,
-                         out.lockWait);
+    if (!observers_.empty()) {
+        for (AccessObserver* obs : observers_) {
+            obs->afterAccess(pe, ref.op, addr, area, out.data, wdata,
+                             out.lockWait);
+        }
     }
 
     // Injected fault: a glitch on the UL line wakes every parked PE with
@@ -164,16 +169,32 @@ System::access(PeId pe, MemOp op, Addr addr, Area area, Word wdata)
     if (injector_ != nullptr &&
         injector_->fire(FaultSite::SpuriousWakeup)) {
         for (PeId waiter = 0; waiter < config_.numPes; ++waiter) {
-            if (parkedOn_[waiter] != kNoAddr) {
-                const Addr block = parkedOn_[waiter];
-                parkedOn_[waiter] = kNoAddr;
-                clock_[waiter] = std::max(clock_[waiter], clock_[pe]);
-                if (sink_ != nullptr)
-                    sink_->onWake(waiter, block, clock_[waiter]);
-            }
+            if (parkedOn_[waiter] != kNoAddr)
+                wake(waiter, parkedOn_[waiter], clock_[pe]);
         }
+        waitersByBlock_.clear();
     }
     return out;
+}
+
+void
+System::park(PeId pe, Addr block, Cycles when)
+{
+    parkedOn_[pe] = block;
+    std::vector<PeId>& waiters = waitersByBlock_[block];
+    waiters.insert(std::upper_bound(waiters.begin(), waiters.end(), pe),
+                   pe);
+    if (sink_ != nullptr)
+        sink_->onPark(pe, block, when);
+}
+
+void
+System::wake(PeId pe, Addr block, Cycles at_least)
+{
+    parkedOn_[pe] = kNoAddr;
+    clock_[pe] = std::max(clock_[pe], at_least);
+    if (sink_ != nullptr)
+        sink_->onWake(pe, block, clock_[pe]);
 }
 
 void
@@ -214,6 +235,7 @@ System::abandonParkedWaiters()
 {
     for (PeId pe = 0; pe < config_.numPes; ++pe)
         parkedOn_[pe] = kNoAddr;
+    waitersByBlock_.clear();
 }
 
 std::vector<std::uint64_t>
@@ -289,14 +311,15 @@ void
 System::onUnlockBroadcast(Addr word_addr, Cycles when)
 {
     const Addr block = word_addr - word_addr % config_.timing.blockWords;
-    for (PeId pe = 0; pe < config_.numPes; ++pe) {
-        if (parkedOn_[pe] == block) {
-            parkedOn_[pe] = kNoAddr;
-            clock_[pe] = std::max(clock_[pe], when);
-            if (sink_ != nullptr)
-                sink_->onWake(pe, block, clock_[pe]);
-        }
-    }
+    // O(waiters) wakeup via the block -> waiters index (the old code
+    // scanned every PE per UL). The vector is ascending, preserving the
+    // PE-order wakeup of the scan it replaces.
+    const auto it = waitersByBlock_.find(block);
+    if (it == waitersByBlock_.end())
+        return;
+    for (PeId pe : it->second)
+        wake(pe, block, when);
+    waitersByBlock_.erase(it);
 }
 
 } // namespace pim

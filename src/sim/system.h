@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "bus/bus.h"
@@ -38,6 +39,12 @@ struct SystemConfig {
     BusTiming timing;
     OptPolicy policy = OptPolicy::all();
     std::uint64_t memoryWords = 1ull << 26;
+    /**
+     * Exact bus-side snoop filter (docs/PERFORMANCE.md). Protocol
+     * outcomes, statistics and timing are identical either way; off
+     * reproduces the pre-filter broadcast for A/B measurement.
+     */
+    bool snoopFilter = true;
 
     /**
      * Check the configuration for construction-time errors (zero PEs,
@@ -228,12 +235,25 @@ class System : public UnlockListener
     void onUnlockBroadcast(Addr word_addr, Cycles when) override;
 
   private:
+    /** Park @p pe on @p block (updates the block -> waiters index). */
+    void park(PeId pe, Addr block, Cycles when);
+
+    /** Wake @p pe (the caller removes it from the waiters index). */
+    void wake(PeId pe, Addr block, Cycles at_least);
+
     SystemConfig config_;
     PagedStore memory_;
     std::unique_ptr<Bus> bus_;
     std::vector<std::unique_ptr<PimCache>> caches_;
     std::vector<Cycles> clock_;
     std::vector<Addr> parkedOn_; ///< Block a PE busy-waits on (kNoAddr).
+    /**
+     * Inverse of parkedOn_: block -> parked PEs in ascending id order,
+     * so an UL broadcast wakes its waiters in O(waiters) instead of
+     * scanning every PE (and wakes them in the same order the old scan
+     * did). Kept exactly in sync with parkedOn_.
+     */
+    std::unordered_map<Addr, std::vector<PeId>> waitersByBlock_;
     RefStats refStats_;
     std::function<void(const MemRef&)> refObserver_;
     std::vector<AccessObserver*> observers_;

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Exact bus-side residency filter tests (docs/PERFORMANCE.md).
+ *
+ * Two layers: unit tests of the ResidencyFilter mask container itself,
+ * and system-level exactness tests asserting that after every kind of
+ * protocol event — fills, swap-out evictions, write invalidations, the
+ * ER supplier purge, RI, flushAll, lock acquire/release and a lock
+ * surviving its block's eviction — the per-block copy mask equals the
+ * ground truth (which PEs' caches actually hold the block) and the lock
+ * mask equals which PEs' lock directories hold an entry on the block.
+ *
+ * The final test is the on/off differential: the same reference stream
+ * driven through a filtered and an unfiltered System must produce
+ * identical read values, protocol hashes and bus statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/residency_filter.h"
+#include "common/rng.h"
+#include "sim/system.h"
+
+namespace pim {
+namespace {
+
+// ---------------------------------------------------------------------
+// ResidencyFilter unit behavior.
+// ---------------------------------------------------------------------
+
+TEST(ResidencyFilterUnit, CopyMaskTracksAddRemove)
+{
+    ResidencyFilter filter;
+    filter.setBlockWords(4);
+    EXPECT_EQ(filter.copyMask(0), 0u);
+
+    filter.addCopy(0, 8);
+    filter.addCopy(3, 8);
+    EXPECT_EQ(filter.copyMask(8), (1ull << 0) | (1ull << 3));
+    EXPECT_EQ(filter.copyMask(4), 0u);
+
+    filter.removeCopy(0, 8);
+    EXPECT_EQ(filter.copyMask(8), 1ull << 3);
+    // Removing an absent copy is a no-op, not an error.
+    filter.removeCopy(5, 8);
+    EXPECT_EQ(filter.copyMask(8), 1ull << 3);
+    EXPECT_TRUE(filter.exact());
+}
+
+TEST(ResidencyFilterUnit, LockMaskIsIdempotent)
+{
+    ResidencyFilter filter;
+    filter.setBlockWords(4);
+    filter.setLockResident(2, 12, true);
+    filter.setLockResident(2, 12, true);
+    EXPECT_EQ(filter.lockMask(12), 1ull << 2);
+    filter.setLockResident(2, 12, false);
+    filter.setLockResident(2, 12, false);
+    EXPECT_EQ(filter.lockMask(12), 0u);
+}
+
+TEST(ResidencyFilterUnit, CopyAndLockMasksAreIndependent)
+{
+    ResidencyFilter filter;
+    filter.setBlockWords(4);
+    filter.addCopy(1, 0);
+    filter.setLockResident(2, 0, true);
+    EXPECT_EQ(filter.copyMask(0), 1ull << 1);
+    EXPECT_EQ(filter.lockMask(0), 1ull << 2);
+}
+
+TEST(ResidencyFilterUnit, WidePeDegradesToInexact)
+{
+    ResidencyFilter filter;
+    filter.setBlockWords(4);
+    EXPECT_TRUE(filter.exact());
+    filter.registerPe(ResidencyFilter::kMaxPes - 1);
+    EXPECT_TRUE(filter.exact());
+    filter.registerPe(ResidencyFilter::kMaxPes);
+    EXPECT_FALSE(filter.exact());
+
+    ResidencyFilter other;
+    other.setBlockWords(4);
+    other.addCopy(ResidencyFilter::kMaxPes, 0);
+    EXPECT_FALSE(other.exact());
+}
+
+TEST(ResidencyFilterUnit, NonPowerOfTwoBlockWordsStillIndexes)
+{
+    ResidencyFilter filter;
+    filter.setBlockWords(3); // falls back to division indexing
+    filter.addCopy(0, 0);
+    filter.addCopy(1, 3);
+    filter.addCopy(2, 6);
+    EXPECT_EQ(filter.copyMask(0), 1ull << 0);
+    EXPECT_EQ(filter.copyMask(3), 1ull << 1);
+    EXPECT_EQ(filter.copyMask(6), 1ull << 2);
+    EXPECT_EQ(filter.trackedCopyBlocks(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// System-level exactness: masks versus cache/lock-directory ground
+// truth after every protocol event kind.
+// ---------------------------------------------------------------------
+
+/** Tiny geometry so evictions are easy to force: 2 sets x 2 ways. */
+SystemConfig
+tinyConfig(std::uint32_t pes)
+{
+    SystemConfig config;
+    config.numPes = pes;
+    config.cache.geometry.blockWords = 4;
+    config.cache.geometry.sets = 2;
+    config.cache.geometry.ways = 2;
+    config.memoryWords = 1 << 16;
+    config.validate();
+    return config;
+}
+
+/**
+ * Assert that for every block base in [lo, hi) the filter's copy mask
+ * has exactly the bits of the PEs whose cache holds the block, and the
+ * lock mask exactly the PEs whose lock directory has an entry on it.
+ */
+void
+expectExactMasks(const System& system, Addr lo, Addr hi)
+{
+    const std::uint32_t block =
+        system.cache(0).config().geometry.blockWords;
+    const std::uint32_t pes = system.config().numPes;
+    for (Addr base = lo / block * block; base < hi; base += block) {
+        std::uint64_t expect_copies = 0;
+        std::uint64_t expect_locks = 0;
+        for (PeId pe = 0; pe < pes; ++pe) {
+            if (system.cache(pe).present(base))
+                expect_copies |= 1ull << pe;
+            for (const auto& [word, state] :
+                 system.cache(pe).lockDirectory().entries()) {
+                if (word / block * block == base)
+                    expect_locks |= 1ull << pe;
+            }
+        }
+        EXPECT_EQ(system.bus().residency().copyMask(base), expect_copies)
+            << "copy mask of block " << base;
+        EXPECT_EQ(system.bus().residency().lockMask(base), expect_locks)
+            << "lock mask of block " << base;
+    }
+}
+
+TEST(ResidencyMasks, FillSharesAndWriteInvalidates)
+{
+    System system(tinyConfig(4));
+    // All four PEs read block 0 -> four copies.
+    for (PeId pe = 0; pe < 4; ++pe)
+        system.access(pe, MemOp::R, 0, Area::Heap);
+    EXPECT_EQ(system.bus().residency().copyMask(0), 0xfull);
+    expectExactMasks(system, 0, 64);
+
+    // PE2 writes -> the other three copies are invalidated.
+    system.access(2, MemOp::W, 1, Area::Heap, 42);
+    EXPECT_EQ(system.bus().residency().copyMask(0), 1ull << 2);
+    expectExactMasks(system, 0, 64);
+}
+
+TEST(ResidencyMasks, SwapOutEvictionClearsTheMask)
+{
+    System system(tinyConfig(2));
+    const Addr block = 4;
+    // 2 sets x 4-word blocks: bases 0,32,64 all map to set 0. Three
+    // distinct blocks in a 2-way set force an eviction.
+    system.access(0, MemOp::R, 0, Area::Heap);
+    system.access(0, MemOp::W, 32, Area::Heap, 7); // dirty victim
+    system.access(0, MemOp::R, 64, Area::Heap);
+    std::uint32_t resident = 0;
+    for (Addr base : {Addr{0}, Addr{32}, Addr{64}})
+        resident += system.cache(0).present(base) ? 1 : 0;
+    EXPECT_EQ(resident, 2u); // one of the three was swapped out
+    expectExactMasks(system, 0, 128);
+    (void)block;
+}
+
+TEST(ResidencyMasks, ExclusiveReadPurgesTheSupplier)
+{
+    System system(tinyConfig(2));
+    // PE0 creates the record with DW (exclusive dirty), PE1 consumes it
+    // with ER: the supplier's copy must be purged and its mask bit gone.
+    system.access(0, MemOp::DW, 8, Area::Heap, 99);
+    EXPECT_EQ(system.bus().residency().copyMask(8), 1ull << 0);
+    const System::Access got = system.access(1, MemOp::ER, 8, Area::Heap);
+    EXPECT_EQ(got.data, 99u);
+    EXPECT_FALSE(system.cache(0).present(8));
+    EXPECT_EQ(system.bus().residency().copyMask(8), 1ull << 1);
+    expectExactMasks(system, 0, 64);
+}
+
+TEST(ResidencyMasks, ReadPurgeAndReadInvalidate)
+{
+    System system(tinyConfig(2));
+    system.access(0, MemOp::DW, 8, Area::Heap, 5);
+    // RP: read and purge own copy without keeping it.
+    system.access(0, MemOp::RP, 8, Area::Heap);
+    expectExactMasks(system, 0, 64);
+    // RI: read once, invalidating every cached copy.
+    system.access(0, MemOp::W, 12, Area::Heap, 6);
+    system.access(1, MemOp::RI, 12, Area::Heap);
+    expectExactMasks(system, 0, 64);
+}
+
+TEST(ResidencyMasks, FlushAllClearsEveryMaskBit)
+{
+    System system(tinyConfig(3));
+    Rng rng(42);
+    for (int step = 0; step < 200; ++step) {
+        const PeId pe = static_cast<PeId>(rng.below(3));
+        const Addr addr = rng.below(256);
+        if (rng.chance(1, 3))
+            system.access(pe, MemOp::W, addr, Area::Heap, rng.next());
+        else
+            system.access(pe, MemOp::R, addr, Area::Heap);
+    }
+    expectExactMasks(system, 0, 256);
+    for (PeId pe = 0; pe < 3; ++pe)
+        system.cache(pe).flushAll();
+    for (Addr base = 0; base < 256; base += 4)
+        EXPECT_EQ(system.bus().residency().copyMask(base), 0u);
+    expectExactMasks(system, 0, 256);
+}
+
+TEST(ResidencyMasks, LockResidencyFollowsAcquireAndRelease)
+{
+    System system(tinyConfig(2));
+    system.access(0, MemOp::LR, 20, Area::Heap);
+    EXPECT_EQ(system.bus().residency().lockMask(20), 1ull << 0);
+    expectExactMasks(system, 0, 64);
+    system.access(0, MemOp::UW, 20, Area::Heap, 11);
+    EXPECT_EQ(system.bus().residency().lockMask(20), 0u);
+
+    system.access(1, MemOp::LR, 21, Area::Heap);
+    system.access(1, MemOp::U, 21, Area::Heap);
+    EXPECT_EQ(system.bus().residency().lockMask(20), 0u);
+    expectExactMasks(system, 0, 64);
+}
+
+TEST(ResidencyMasks, LockSurvivesBlockEviction)
+{
+    System system(tinyConfig(2));
+    // Lock a word, then evict its block from the holder's cache (set 0
+    // holds bases 0,32,64). The lock directory entry — and therefore
+    // the lock mask bit — must survive while the copy bit goes away.
+    system.access(0, MemOp::LR, 2, Area::Heap);
+    system.access(0, MemOp::W, 32, Area::Heap, 1);
+    system.access(0, MemOp::W, 64, Area::Heap, 2);
+    system.access(0, MemOp::R, 96, Area::Heap);
+    EXPECT_EQ(system.bus().residency().lockMask(0), 1ull << 0);
+    expectExactMasks(system, 0, 128);
+    system.access(0, MemOp::U, 2, Area::Heap);
+    EXPECT_EQ(system.bus().residency().lockMask(0), 0u);
+    expectExactMasks(system, 0, 128);
+}
+
+// ---------------------------------------------------------------------
+// On/off differential: filtering must be observationally invisible.
+// ---------------------------------------------------------------------
+
+TEST(ResidencyDifferential, FilterOnAndOffAreBitIdentical)
+{
+    SystemConfig on_config = tinyConfig(4);
+    SystemConfig off_config = on_config;
+    off_config.snoopFilter = false;
+    System filtered(on_config);
+    System broadcast(off_config);
+    ASSERT_TRUE(filtered.bus().snoopFilterEnabled());
+    ASSERT_FALSE(broadcast.bus().snoopFilterEnabled());
+
+    // Drive both systems through the same mixed stream: reads, writes,
+    // optimized commands over a record area, and non-blocking lock
+    // traffic. Each PE's lock word sits in its own block (LH inhibits a
+    // fetch when *any* word of the block is locked elsewhere, so shared
+    // blocks would park PEs), which keeps the stream retry-free.
+    Rng rng(2026);
+    std::vector<Addr> records;
+    std::vector<bool> holds(4, false);
+    Addr next_record = 512;
+    for (int step = 0; step < 3000; ++step) {
+        const PeId pe = static_cast<PeId>(rng.below(4));
+        const std::uint64_t roll = rng.below(100);
+        MemOp op;
+        Addr addr;
+        Word wdata = 0;
+        if (roll < 20) {
+            addr = 448 + pe * 4;
+            if (holds[pe]) {
+                op = rng.chance(1, 2) ? MemOp::U : MemOp::UW;
+                if (op == MemOp::UW)
+                    wdata = rng.next();
+                holds[pe] = false;
+            } else {
+                op = MemOp::LR;
+                holds[pe] = true;
+            }
+        } else if (roll < 30) {
+            if (!records.empty() && rng.chance(1, 2)) {
+                addr = records.back();
+                records.pop_back();
+                op = rng.chance(1, 2) ? MemOp::ER : MemOp::RP;
+            } else {
+                op = MemOp::DW;
+                addr = next_record;
+                next_record += 4;
+                wdata = rng.next();
+                records.push_back(addr);
+            }
+        } else {
+            op = roll < 60 ? MemOp::W : MemOp::R;
+            addr = rng.below(256);
+            if (op == MemOp::W)
+                wdata = rng.next();
+        }
+        const System::Access a =
+            filtered.access(pe, op, addr, Area::Heap, wdata);
+        const System::Access b =
+            broadcast.access(pe, op, addr, Area::Heap, wdata);
+        ASSERT_FALSE(a.lockWait) << "step " << step;
+        ASSERT_FALSE(b.lockWait) << "step " << step;
+        ASSERT_EQ(a.data, b.data) << "step " << step;
+    }
+
+    EXPECT_EQ(filtered.protocolHash(0, 4096),
+              broadcast.protocolHash(0, 4096));
+    for (int pattern = 0; pattern < kNumBusPatterns; ++pattern) {
+        EXPECT_EQ(filtered.bus().stats().transByPattern[pattern],
+                  broadcast.bus().stats().transByPattern[pattern]);
+        EXPECT_EQ(filtered.bus().stats().cyclesByPattern[pattern],
+                  broadcast.bus().stats().cyclesByPattern[pattern]);
+    }
+    expectExactMasks(filtered, 0, 1024);
+}
+
+} // namespace
+} // namespace pim
