@@ -74,5 +74,6 @@ run(int argc, const char* const* argv)
 int
 main(int argc, char** argv)
 {
-    return pim::kl1::bench::run(argc, argv);
+    return pim::kl1::bench::runBenchMain(
+        "ablation_gc", [&] { return pim::kl1::bench::run(argc, argv); });
 }

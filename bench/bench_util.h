@@ -27,8 +27,10 @@
 
 #include "bench_kl1/programs.h"
 #include "bench_kl1/workload.h"
+#include "common/fs_util.h"
 #include "common/json.h"
 #include "common/options.h"
+#include "common/sim_fault.h"
 #include "common/strutil.h"
 #include "common/table.h"
 
@@ -146,27 +148,8 @@ class BenchJson
     {
         if (!enabled())
             return true;
-        // A missing parent directory (e.g. --json=results/x.json before
-        // `results/` exists) used to be a silently failed open; create
-        // it instead, like `mkdir -p`.
-        const std::filesystem::path parent =
-            std::filesystem::path(path_).parent_path();
-        if (!parent.empty()) {
-            std::error_code ec;
-            std::filesystem::create_directories(parent, ec);
-            if (ec) {
-                std::fprintf(stderr, "bench: cannot create %s: %s\n",
-                             parent.string().c_str(),
-                             ec.message().c_str());
-                return false;
-            }
-        }
-        std::ofstream out(path_, std::ios::binary);
-        if (!out) {
-            std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
-            return false;
-        }
-        JsonWriter json(out, /*pretty=*/true);
+        std::ostringstream os;
+        JsonWriter json(os, /*pretty=*/true);
         json.beginObject();
         json.field("name", name_);
         json.field("scale", static_cast<std::uint64_t>(scale_));
@@ -183,8 +166,16 @@ class BenchJson
         }
         json.endArray();
         json.endObject();
-        out << "\n";
-        return out.good();
+        os << "\n";
+        // Atomic publish (temp + rename; parents created like
+        // `mkdir -p`): a killed or failing binary never leaves a torn
+        // BENCH_*.json behind for json_check to choke on.
+        std::string error;
+        if (!writeFileAtomic(path_, os.str(), &error)) {
+            std::fprintf(stderr, "bench: %s\n", error.c_str());
+            return false;
+        }
+        return true;
     }
 
   private:
@@ -201,6 +192,28 @@ class BenchJson
     std::string path_; ///< Resolved output path ("" = disabled).
     std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
+
+/**
+ * Shared `main` body for the reproduction binaries: run @p body,
+ * converting an escaped SimFault into a one-line structured error on
+ * stderr (kind + message) and the exit code of its family
+ * (simFaultExitCode: 10 config, 11 parse, 12 detection, 13 liveness,
+ * 14 execution bound) — so scripts can triage failures without parsing
+ * prose.
+ */
+template <typename Body>
+int
+runBenchMain(const char* name, Body&& body)
+{
+    try {
+        return body();
+    } catch (const SimFault& fault) {
+        std::fprintf(stderr, "%s: error: kind=%s exit=%d %s\n", name,
+                     simFaultKindName(fault.kind()),
+                     simFaultExitCode(fault.kind()), fault.what());
+        return simFaultExitCode(fault.kind());
+    }
+}
 
 /** Print the standard banner for a reproduction binary. */
 inline void

@@ -105,5 +105,6 @@ run(int argc, const char* const* argv)
 int
 main(int argc, char** argv)
 {
-    return pim::kl1::bench::run(argc, argv);
+    return pim::kl1::bench::runBenchMain(
+        "fig1_block_size", [&] { return pim::kl1::bench::run(argc, argv); });
 }

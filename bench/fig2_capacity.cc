@@ -96,5 +96,6 @@ run(int argc, const char* const* argv)
 int
 main(int argc, char** argv)
 {
-    return pim::kl1::bench::run(argc, argv);
+    return pim::kl1::bench::runBenchMain(
+        "fig2_capacity", [&] { return pim::kl1::bench::run(argc, argv); });
 }

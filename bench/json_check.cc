@@ -9,8 +9,9 @@
  * --schema=NAME prepends a built-in required-path set for the
  * repository's standard documents: `bench` (a table binary's --json
  * report), `sweep` (pim_sweep's SWEEP.json, docs/EXPERIMENTS.md),
- * `sweep-perf` (its SWEEP.perf.json engine-throughput sidecar) and
- * `perf` (pim_perf's BENCH_perf.json snoop-filter throughput report).
+ * `sweep-perf` (its SWEEP.perf.json engine-throughput sidecar), `perf`
+ * (pim_perf's BENCH_perf.json snoop-filter throughput report) and
+ * `campaign` (pim_soak's CAMPAIGN.json, docs/ROBUSTNESS.md).
  * Explicit --require paths are checked in addition.
  *
  * Exit codes: 0 = all files parse and all required paths resolve;
@@ -38,7 +39,7 @@ usage()
         "  Parses each FILE as JSON and verifies every --require dotted\n"
         "  path resolves (numeric segments index arrays).\n"
         "  --schema adds a built-in path set: bench, sweep, sweep-perf,\n"
-        "  perf.\n");
+        "  perf, campaign.\n");
 }
 
 /** Built-in required paths for @p schema; false if unknown. */
@@ -73,6 +74,23 @@ schemaPaths(const std::string& schema, std::vector<std::string>* out)
         // pim_sweep's SWEEP.perf.json engine-throughput sidecar.
         *out = {"jobs", "tasks", "wall_seconds", "task_seconds_sum",
                 "sims_per_sec", "speedup_vs_serial"};
+        return true;
+    }
+    if (schema == "campaign") {
+        // pim_soak's CAMPAIGN.json (docs/ROBUSTNESS.md).
+        *out = {"name",
+                "seeds_per_plan",
+                "cells_total",
+                "cells.0.plan",
+                "cells.0.seed_slot",
+                "cells.0.outcome",
+                "cells.0.fires",
+                "totals.clean",
+                "totals.detected_auditor",
+                "totals.detected_watchdog",
+                "totals.timed_out",
+                "totals.escaped",
+                "escaped"};
         return true;
     }
     if (schema == "perf") {
@@ -113,7 +131,7 @@ main(int argc, char** argv)
         if (!schemaPaths(schema, &required)) {
             std::fprintf(stderr,
                          "json_check: unknown schema '%s' (expected "
-                         "bench, sweep, sweep-perf or perf)\n",
+                         "bench, sweep, sweep-perf, perf or campaign)\n",
                          schema.c_str());
             return 1;
         }

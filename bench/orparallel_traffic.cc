@@ -97,5 +97,6 @@ run(int argc, const char* const* argv)
 int
 main(int argc, char** argv)
 {
-    return pim::kl1::bench::run(argc, argv);
+    return pim::kl1::bench::runBenchMain(
+        "orparallel_traffic", [&] { return pim::kl1::bench::run(argc, argv); });
 }

@@ -180,7 +180,9 @@ main(int argc, char** argv)
         return verdict(opt, result.divergence,
                        result.divergenceTrace.size());
     } catch (const SimFault& fault) {
-        std::fprintf(stderr, "pim_conform: %s\n", fault.what());
-        return 2;
+        std::fprintf(stderr, "pim_conform: error: kind=%s exit=%d %s\n",
+                     simFaultKindName(fault.kind()),
+                     simFaultExitCode(fault.kind()), fault.what());
+        return simFaultExitCode(fault.kind());
     }
 }

@@ -293,10 +293,8 @@ fmt(const char* spec, double v)
     return buf;
 }
 
-} // namespace
-
 int
-main(int argc, char** argv)
+perfMain(int argc, char** argv)
 {
     BenchContext ctx = BenchContext::parse(argc, argv);
     // The filter's payoff grows with the port count, so this harness
@@ -419,4 +417,13 @@ main(int argc, char** argv)
     if (json.enabled())
         std::printf("json: %s\n", json.path().c_str());
     return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    return pim::kl1::bench::runBenchMain("pim_perf",
+                                         [&] { return perfMain(argc, argv); });
 }

@@ -52,6 +52,9 @@ usage()
         "  --no-audit          detach the coherence auditor\n"
         "  --no-snoop-filter   disable the exact bus-side snoop filter\n"
         "                      (identical outcomes; docs/PERFORMANCE.md)\n"
+        "  --timeout=SECS      wall-clock budget; exceeding it is a\n"
+        "                      detected Timeout fault (not in replay\n"
+        "                      lines: wall-clock, not simulation state)\n"
         "  --expect-fault      exit 0 iff a fault was detected\n"
         "  --seeds=N           batch: run seeds SEED..SEED+N-1 (default 1)\n"
         "  --jobs=N            batch worker threads (default: hardware);\n"
@@ -65,7 +68,7 @@ const char* const kKnownFlags[] = {
     "span",       "write-pct",  "lock-pct",  "opt-pct",
     "plan",       "trace-out",  "timeline-out", "no-audit",  "expect-fault",
     "replay",     "help",       "starvation-bound", "livelock-retries",
-    "seeds",      "jobs",       "no-snoop-filter",
+    "seeds",      "jobs",       "no-snoop-filter", "timeout",
 };
 
 /**
@@ -132,6 +135,7 @@ main(int argc, char** argv)
         config.timelineOut = opts.getString("timeline-out", "");
         config.audit = !opts.getBool("no-audit");
         config.snoopFilter = !opts.getBool("no-snoop-filter");
+        config.timeoutSeconds = opts.getDouble("timeout", 0);
         config.watchdog.starvationBound = static_cast<std::uint64_t>(
             opts.getInt("starvation-bound", 100000));
         config.watchdog.livelockRetries = static_cast<std::uint32_t>(
@@ -175,8 +179,13 @@ main(int argc, char** argv)
 
         result = runStress(config);
     } catch (const SimFault& fault) {
-        std::fprintf(stderr, "pim_stress: %s\n", fault.what());
-        return 1;
+        // Detected faults inside runStress are result rows, not throws;
+        // anything escaping to here is a usage/config problem, reported
+        // one-line structured with its family exit code.
+        std::fprintf(stderr, "pim_stress: error: kind=%s exit=%d %s\n",
+                     simFaultKindName(fault.kind()),
+                     simFaultExitCode(fault.kind()), fault.what());
+        return simFaultExitCode(fault.kind());
     }
 
     if (result.failed) {

@@ -106,5 +106,6 @@ run(int argc, const char* const* argv)
 int
 main(int argc, char** argv)
 {
-    return pim::kl1::bench::run(argc, argv);
+    return pim::kl1::bench::runBenchMain(
+        "table1_benchmarks", [&] { return pim::kl1::bench::run(argc, argv); });
 }

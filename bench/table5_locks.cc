@@ -105,5 +105,6 @@ run(int argc, const char* const* argv)
 int
 main(int argc, char** argv)
 {
-    return pim::kl1::bench::run(argc, argv);
+    return pim::kl1::bench::runBenchMain(
+        "table5_locks", [&] { return pim::kl1::bench::run(argc, argv); });
 }

@@ -34,6 +34,16 @@ perf_smoke() {
     "${dir}/bench/json_check" --schema=perf "${dir}/BENCH_perf.json"
 }
 
+# Short chaos soak campaign (docs/ROBUSTNESS.md): the smoke fault-plan
+# x seed grid must end with zero escaped injections, and CAMPAIGN.json
+# must satisfy the campaign schema.
+soak_smoke() {
+    local dir="build-release"
+    echo "=== soak smoke (${dir}) ==="
+    "${dir}/bench/pim_soak" --smoke --out="${dir}/soak"
+    "${dir}/bench/json_check" --schema=campaign "${dir}/soak/CAMPAIGN.json"
+}
+
 coverage_report() {
     local dir="build-coverage"
     if command -v gcovr >/dev/null 2>&1; then
@@ -55,6 +65,7 @@ for leg in "${legs[@]}"; do
       release)
         run_leg release -DCMAKE_BUILD_TYPE=Release
         perf_smoke
+        soak_smoke
         ;;
       asan)
         run_leg asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPIM_SANITIZE=ON

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Cooperative cancellation and wall-clock deadlines for long-running
+ * simulations (docs/ROBUSTNESS.md "Deadlines and cancellation").
+ *
+ * A simulation point that livelocks — or just takes pathologically long
+ * on some parameter corner — used to wedge its ThreadPool worker
+ * forever. The resilient execution plane bounds every point instead: a
+ * RunGuard is polled from the hot loops (System::access, the stress
+ * driver, the KL1 step loop) and raises SimFault(Timeout) when its
+ * Deadline passes or SimFault(Cancelled) when its CancelToken trips.
+ *
+ * The poll is designed for hot paths: it samples the wall clock only
+ * once every `stride` polls (a counter increment and mask otherwise),
+ * so the per-reference cost is a couple of ALU ops. Timeouts are
+ * wall-clock and therefore *not* part of a run's deterministic inputs:
+ * replay lines and SWEEP documents never include them, and a timed-out
+ * point re-run without the deadline reproduces the full simulation.
+ */
+
+#ifndef PIMCACHE_COMMON_DEADLINE_H_
+#define PIMCACHE_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace pim {
+
+/**
+ * A cooperative cancellation flag, safe to trip from any thread. The
+ * holder of the token cancels; every RunGuard observing it raises
+ * SimFault(Cancelled) at its next strided check.
+ */
+class CancelToken
+{
+  public:
+    void
+    cancel() noexcept
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    cancelled() const noexcept
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/** A wall-clock budget: unlimited by default, or a steady-clock cutoff. */
+class Deadline
+{
+  public:
+    /** No deadline: never expires. */
+    Deadline() = default;
+
+    /** Explicit never-expiring deadline (same as the default). */
+    static Deadline never() { return Deadline(); }
+
+    /**
+     * Expires @p seconds of wall-clock time from now. Non-positive
+     * budgets expire immediately (useful in tests).
+     */
+    static Deadline afterSeconds(double seconds);
+
+    bool unlimited() const { return unlimited_; }
+
+    /** True once the cutoff has passed (never true when unlimited). */
+    bool expired() const;
+
+    /** The budget this deadline was created with (0 when unlimited). */
+    double limitSeconds() const { return limitSeconds_; }
+
+    /** Wall-clock seconds already consumed (0 when unlimited). */
+    double elapsedSeconds() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    bool unlimited_ = true;
+    double limitSeconds_ = 0;
+    Clock::time_point start_{};
+    Clock::time_point cutoff_{};
+};
+
+/**
+ * The hot-path poll point combining a Deadline and an optional
+ * CancelToken. Embed one per run and call poll() once per reference /
+ * step; every `stride`-th poll samples the clock and the token and
+ * throws SimFault(Timeout) / SimFault(Cancelled). A RunGuard is
+ * single-threaded (one per simulation stack), but the CancelToken it
+ * watches may be tripped from any thread.
+ */
+class RunGuard
+{
+  public:
+    /**
+     * @param stride Polls per clock sample; rounded up to a power of
+     *               two, minimum 1. The default (1024) bounds detection
+     *               latency to ~a thousand references while keeping the
+     *               fast path to a counter increment.
+     */
+    explicit RunGuard(Deadline deadline,
+                      const CancelToken* cancel = nullptr,
+                      std::uint32_t stride = 1024);
+
+    /** Cheap check; throws SimFault(Timeout/Cancelled) when tripped. */
+    void
+    poll()
+    {
+        if ((++polls_ & mask_) == 0)
+            check();
+    }
+
+    /** Polls observed so far (timeout messages report progress). */
+    std::uint64_t polls() const { return polls_; }
+
+    const Deadline& deadline() const { return deadline_; }
+
+    /** True if either limit has tripped (non-throwing probe). */
+    bool tripped() const;
+
+  private:
+    /** Strided slow path: samples clock + token, throws on violation. */
+    void check();
+
+    Deadline deadline_;
+    const CancelToken* cancel_;
+    std::uint64_t mask_;
+    std::uint64_t polls_ = 0;
+};
+
+} // namespace pim
+
+#endif // PIMCACHE_COMMON_DEADLINE_H_

@@ -1,0 +1,68 @@
+#include "common/fs_util.h"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include <unistd.h>
+
+namespace pim {
+
+namespace fs = std::filesystem;
+
+bool
+writeFileAtomic(const std::string& path, const std::string& content,
+                std::string* error)
+{
+    const auto fail = [error](std::string message) {
+        if (error != nullptr)
+            *error = std::move(message);
+        return false;
+    };
+    if (error != nullptr)
+        error->clear();
+
+    const fs::path target(path);
+    const fs::path parent = target.parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        fs::create_directories(parent, ec);
+        if (ec) {
+            return fail("cannot create directory " + parent.string() +
+                        ": " + ec.message());
+        }
+    }
+
+    // The pid suffix keeps concurrent writers of the same path (e.g.
+    // parallel ctest invocations sharing a scratch dir) from clobbering
+    // each other's temp file; the final rename is last-writer-wins
+    // either way, which is the usual atomic-replace contract.
+    const fs::path temp =
+        target.string() + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            return fail("cannot open " + temp.string() + " for writing");
+        }
+        out << content;
+        out.flush();
+        if (!out.good()) {
+            out.close();
+            std::error_code ec;
+            fs::remove(temp, ec);
+            return fail("short write to " + temp.string());
+        }
+    }
+
+    std::error_code ec;
+    fs::rename(temp, target, ec);
+    if (ec) {
+        std::error_code rm_ec;
+        fs::remove(temp, rm_ec);
+        return fail("cannot rename " + temp.string() + " to " +
+                    target.string() + ": " + ec.message());
+    }
+    return true;
+}
+
+} // namespace pim

@@ -31,10 +31,12 @@ enum class SimFaultKind : std::uint8_t {
     Deadlock = 4,   ///< Every PE parked with no UL in flight (watchdog).
     Livelock = 5,   ///< Same access retried without commit (watchdog).
     Starvation = 6, ///< A parked PE aged past the LWAIT bound (watchdog).
+    Timeout = 7,    ///< Wall-clock deadline exceeded (RunGuard).
+    Cancelled = 8,  ///< Run cancelled cooperatively (CancelToken).
 };
 
 /** Number of SimFaultKind enumerators. */
-inline constexpr int kNumSimFaultKinds = 7;
+inline constexpr int kNumSimFaultKinds = 9;
 
 /** Stable lowercase name, used in replay lines and test assertions. */
 inline const char*
@@ -48,8 +50,49 @@ simFaultKindName(SimFaultKind kind)
       case SimFaultKind::Deadlock:   return "deadlock";
       case SimFaultKind::Livelock:   return "livelock";
       case SimFaultKind::Starvation: return "starvation";
+      case SimFaultKind::Timeout:    return "timeout";
+      case SimFaultKind::Cancelled:  return "cancelled";
     }
     return "?";
+}
+
+/**
+ * True for fault kinds a task runner may retry: the failure is a
+ * property of the *execution* (a wall-clock budget on a loaded
+ * machine), not of the deterministic simulation itself. Everything the
+ * auditor/watchdog detects is a pure function of (config, seed), so
+ * retrying it would only reproduce the same fault.
+ */
+inline bool
+simFaultKindTransient(SimFaultKind kind)
+{
+    return kind == SimFaultKind::Timeout;
+}
+
+/**
+ * Process exit code for a SimFault caught at a tool's main(), one per
+ * kind family so scripts can classify failures without parsing stderr
+ * (docs/ROBUSTNESS.md "Structured error exits"):
+ *
+ *   10 config, 11 parse, 12 detection (corruption/protocol),
+ *   13 liveness (deadlock/livelock/starvation),
+ *   14 execution bound (timeout/cancelled).
+ */
+inline int
+simFaultExitCode(SimFaultKind kind)
+{
+    switch (kind) {
+      case SimFaultKind::Config:     return 10;
+      case SimFaultKind::Parse:      return 11;
+      case SimFaultKind::Corruption:
+      case SimFaultKind::Protocol:   return 12;
+      case SimFaultKind::Deadlock:
+      case SimFaultKind::Livelock:
+      case SimFaultKind::Starvation: return 13;
+      case SimFaultKind::Timeout:
+      case SimFaultKind::Cancelled:  return 14;
+    }
+    return 15;
 }
 
 /** A recoverable, classified simulator error. */

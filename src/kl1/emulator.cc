@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/sim_fault.h"
 #include "common/xassert.h"
 #include "kl1/gc.h"
 #include "kl1/parser.h"
@@ -156,9 +157,25 @@ Emulator::run(const std::string& query)
         memory.write(rec + 3 + i, args[i]);
     m0.seedGoal(rec);
 
+    // Bounded execution: the guard is polled here every step and inside
+    // System::access on every memory reference, so a non-terminating
+    // program raises SimFault(Timeout) instead of spinning forever. The
+    // attach is scoped — the guard is a local and must not outlive run().
+    RunGuard guard(config_.timeoutSeconds > 0
+                       ? Deadline::afterSeconds(config_.timeoutSeconds)
+                       : Deadline::never(),
+                   config_.cancel);
+    struct GuardDetach {
+        System& sys;
+        ~GuardDetach() { sys.setRunGuard(nullptr); }
+    } detach{*sys_};
+    if (config_.timeoutSeconds > 0 || config_.cancel != nullptr)
+        sys_->setRunGuard(&guard);
+
     // The run loop: always step the earliest non-parked PE.
     std::uint64_t steps = 0;
     for (;;) {
+        guard.poll();
         if (gcRequested_ && gcQuiescent()) {
             gcRequested_ = false;
             GcCollector(*this).collect();
@@ -186,8 +203,13 @@ Emulator::run(const std::string& query)
         machines_[pe]->step();
         ++steps;
         if (config_.maxSteps != 0 && steps > config_.maxSteps) {
-            PIM_FATAL("emulation exceeded maxSteps (", config_.maxSteps,
-                      "); the program may not terminate");
+            // A recoverable, classified fault (not a process abort): the
+            // sweep runner records the point as failed and the grid
+            // keeps draining.
+            throw PIM_SIM_FAULT(SimFaultKind::Timeout,
+                                "emulation exceeded maxSteps (",
+                                config_.maxSteps,
+                                "); the program may not terminate");
         }
     }
 

@@ -33,7 +33,18 @@ struct Kl1Config {
     BusTiming timing;               ///< Paper base: 1-word bus, 8-cycle mem.
     OptPolicy policy = OptPolicy::all();
     LayoutConfig layout;            ///< Area sizes (numPes is overridden).
-    std::uint64_t maxSteps = 0;     ///< Safety limit (0 = unlimited).
+    std::uint64_t maxSteps = 0;     ///< Step limit; exceeding it raises
+                                    ///< SimFault(Timeout). 0 = unlimited.
+    /**
+     * Wall-clock budget in seconds (0 = unlimited). Checked cheaply in
+     * the run loop and on every memory reference (System's RunGuard);
+     * exceeding it raises SimFault(Timeout), so a non-terminating or
+     * pathologically slow program becomes a classified, recoverable
+     * fault instead of a wedged worker (docs/ROBUSTNESS.md).
+     */
+    double timeoutSeconds = 0;
+    /** Optional cooperative cancel (not owned; may be tripped remotely). */
+    const CancelToken* cancel = nullptr;
     std::uint32_t donateThreshold = 2; ///< Min goals kept when donating.
     std::uint32_t idleSpinCycles = 16; ///< Clock advance per idle poll.
     bool failOnDeadlock = true;     ///< Fatal when goals suspend forever.

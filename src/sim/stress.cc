@@ -129,6 +129,16 @@ runStress(const StressConfig& config)
     System system(sys_config);
     system.setFaultInjector(plan.empty() ? nullptr : &injector);
 
+    // Bounded execution: the guard is polled on every access, so a
+    // livelocked or pathologically slow run raises SimFault(Timeout)
+    // into the catch below instead of wedging the caller's worker.
+    RunGuard guard(config.timeoutSeconds > 0
+                       ? Deadline::afterSeconds(config.timeoutSeconds)
+                       : Deadline::never(),
+                   config.cancel);
+    if (config.timeoutSeconds > 0 || config.cancel != nullptr)
+        system.setRunGuard(&guard);
+
     CoherenceAuditor auditor(system);
     if (config.audit)
         system.addAccessObserver(&auditor);
@@ -344,6 +354,7 @@ runStress(const StressConfig& config)
     result.auditChecks = auditor.checksRun();
     result.makespan = system.makespan();
     result.injectorSummary = injector.summary();
+    result.injectorFires = injector.totalFires();
     return result;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/sim_fault.h"
 #include "trace/ref.h"
 #include "verify/lock_watchdog.h"
@@ -55,6 +56,16 @@ struct StressConfig {
      * (pim_perf's A/B baseline, pim_conform's differential fuzz).
      */
     bool snoopFilter = true;
+    /**
+     * Wall-clock budget in seconds (0 = unlimited). A run that exceeds
+     * it fails with SimFault(Timeout) via the RunGuard polled in
+     * System::access — bounded execution instead of a wedged worker.
+     * Wall-clock, so not part of the replay line: replaying a timed-out
+     * run without the budget reproduces the full simulation.
+     */
+    double timeoutSeconds = 0;
+    /** Optional cooperative cancel (not owned; may be tripped remotely). */
+    const CancelToken* cancel = nullptr;
     WatchdogConfig watchdog;
 
     /** Geometry as "BxWxS" (e.g. "4x2x64"). */
@@ -78,6 +89,7 @@ struct StressResult {
     std::uint64_t fingerprint = 0;  ///< Hash of every completed access.
     Cycles makespan = 0;
     std::string injectorSummary;    ///< Per-site fires/opportunities.
+    std::uint64_t injectorFires = 0; ///< Faults actually injected.
     std::uint64_t traceRecords = 0; ///< Records dumped (failure + traceOut).
     std::uint64_t timelineEvents = 0; ///< Timeline events recorded.
     std::string timelinePath;       ///< Where the timeline landed ("").

@@ -24,6 +24,7 @@
 
 #include "bus/bus.h"
 #include "cache/pim_cache.h"
+#include "common/deadline.h"
 #include "mem/paged_store.h"
 #include "obs/event_sink.h"
 #include "sim/opt_policy.h"
@@ -185,6 +186,15 @@ class System : public UnlockListener
     }
 
     /**
+     * Attach a cooperative run guard (nullptr to detach): every access
+     * polls it, so a hung or livelocked drive loop raises
+     * SimFault(Timeout/Cancelled) out of access() instead of wedging
+     * the caller forever (docs/ROBUSTNESS.md). The caller keeps
+     * ownership; the guard must outlive its attachment.
+     */
+    void setRunGuard(RunGuard* guard) { guard_ = guard; }
+
+    /**
      * Attach a fault injector (nullptr to detach), forwarded to the bus,
      * every cache and every lock directory. The System itself consults it
      * at SpuriousWakeup (parked PEs woken without a real UL).
@@ -258,6 +268,7 @@ class System : public UnlockListener
     std::function<void(const MemRef&)> refObserver_;
     std::vector<AccessObserver*> observers_;
     FaultInjector* injector_ = nullptr;
+    RunGuard* guard_ = nullptr; ///< Deadline/cancel poll (may be null).
     MultiSink sinkMux_;
     EventSink* sink_ = nullptr; ///< &sinkMux_ once a sink registered.
 };

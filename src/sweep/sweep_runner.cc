@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <ctime>
 #include <filesystem>
-#include <fstream>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "bench_kl1/programs.h"
 #include "bench_kl1/workload.h"
+#include "common/fs_util.h"
 #include "common/json.h"
 #include "common/sim_fault.h"
 #include "common/thread_pool.h"
@@ -97,7 +100,7 @@ metricText(SweepRow& row, const std::string& name, std::string value)
 
 /** Run one KL1 benchmark point and fill the row's metrics. */
 void
-runKl1Task(SweepRow& row)
+runKl1Task(SweepRow& row, double timeout_seconds)
 {
     const SweepPoint& point = row.params;
     const std::string bench_name = point.text("benchmark", "");
@@ -131,6 +134,7 @@ runKl1Task(SweepRow& row)
     config.timing.widthWords =
         static_cast<std::uint32_t>(point.number("busWidthWords", 1));
     config.enableGc = point.number("enableGc", 0) != 0;
+    config.timeoutSeconds = timeout_seconds;
 
     const bench::BenchResult result = bench::runBenchmark(
         bench::benchmarkByName(bench_name), scale, config);
@@ -149,7 +153,8 @@ runKl1Task(SweepRow& row)
 
 /** Run one stress point; a detected fault becomes a failed row. */
 void
-runStressTask(SweepRow& row, std::uint64_t derived_seed)
+runStressTask(SweepRow& row, std::uint64_t derived_seed,
+              double timeout_seconds)
 {
     const SweepPoint& point = row.params;
     StressConfig config;
@@ -172,12 +177,23 @@ runStressTask(SweepRow& row, std::uint64_t derived_seed)
     config.optPct =
         static_cast<std::uint32_t>(point.number("optPct", 15));
     config.planSpec = point.text("plan", "");
+    config.timeoutSeconds = timeout_seconds;
+    if (point.has("starvationBound")) {
+        config.watchdog.starvationBound = static_cast<std::uint64_t>(
+            point.number("starvationBound", 100000));
+    }
+    if (point.has("livelockRetries")) {
+        config.watchdog.livelockRetries = static_cast<std::uint32_t>(
+            point.number("livelockRetries", 1000));
+    }
 
     const StressResult result = runStress(config);
     metric(row, "seed", static_cast<double>(config.seed));
     metric(row, "completed_refs",
            static_cast<double>(result.completedRefs));
     metric(row, "audit_checks", static_cast<double>(result.auditChecks));
+    metric(row, "injector_fires",
+           static_cast<double>(result.injectorFires));
     metric(row, "makespan", static_cast<double>(result.makespan));
     metricText(row, "fingerprint", hex16(result.fingerprint));
     if (result.failed) {
@@ -324,7 +340,202 @@ renderSweepJson(const SweepSpec& spec, const SweepOutcome& outcome,
     return os.str();
 }
 
+/** Double bits as 16 hex digits (bit-exact checkpoint round-trip). */
+std::string
+doubleBitsHex(double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof bits);
+    return hex16(bits);
+}
+
+double
+doubleFromBitsHex(const std::string& hex)
+{
+    std::uint64_t bits = 0;
+    for (char c : hex) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            throw PIM_SIM_FAULT(SimFaultKind::Parse,
+                                "checkpoint: bad double bits '", hex, "'");
+        bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+    }
+    double value;
+    std::memcpy(&value, &bits, sizeof value);
+    return value;
+}
+
+/**
+ * Serialize every completed slot. Numbers are stored twice: "b" carries
+ * the exact IEEE bits (authoritative — a resumed SWEEP.json must be
+ * *byte*-identical, so the doubles must be bit-identical), "n" the
+ * human-readable value for people inspecting the checkpoint.
+ */
+std::string
+renderCheckpoint(const SweepOutcome& outcome, const std::string& hash)
+{
+    std::ostringstream os;
+    JsonWriter json(os, /*pretty=*/true);
+    json.beginObject();
+    json.field("config_hash", hash);
+    json.field("tasks", static_cast<std::uint64_t>(outcome.rows.size()));
+    json.key("completed");
+    json.beginArray();
+    for (const SweepRow& row : outcome.rows) {
+        if (!row.done)
+            continue;
+        json.beginObject();
+        json.field("task", static_cast<std::uint64_t>(row.taskIndex));
+        json.field("attempts", static_cast<std::uint64_t>(row.attempts));
+        json.field("failed", row.failed);
+        if (row.failed) {
+            json.field("fault_kind", row.faultKind);
+            json.field("message", row.message);
+        }
+        json.key("metrics");
+        json.beginArray();
+        for (const auto& [name, value] : row.metrics) {
+            json.beginObject();
+            json.field("k", name);
+            if (value.isNumber) {
+                json.field("b", doubleBitsHex(value.number));
+                json.field("n", value.number);
+            } else {
+                json.field("s", value.text);
+            }
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << "\n";
+    return os.str();
+}
+
+/**
+ * Restore checkpointed slots into @p outcome. Missing file -> nothing
+ * to resume (fresh run). A present-but-foreign checkpoint (different
+ * config hash or task count) is a Config fault: silently re-running a
+ * different grid over it would corrupt both runs' outputs.
+ */
+std::size_t
+loadCheckpoint(const std::string& path, const std::string& hash,
+               SweepOutcome* outcome)
+{
+    if (!std::filesystem::exists(path))
+        return 0;
+    const JsonValue doc = JsonValue::parseFile(path);
+    const std::string doc_hash =
+        doc.has("config_hash") ? doc.at("config_hash").asString() : "";
+    if (doc_hash != hash) {
+        throw PIM_SIM_FAULT(SimFaultKind::Config, "checkpoint ", path,
+                            " belongs to config ", doc_hash,
+                            " but this sweep hashes to ", hash,
+                            "; delete it or rerun the original spec");
+    }
+    const auto tasks =
+        static_cast<std::size_t>(doc.at("tasks").asNumber());
+    if (tasks != outcome->rows.size()) {
+        throw PIM_SIM_FAULT(SimFaultKind::Config, "checkpoint ", path,
+                            " covers ", tasks, " tasks but the grid has ",
+                            outcome->rows.size());
+    }
+    std::size_t restored = 0;
+    for (const JsonValue& entry : doc.at("completed").asArray()) {
+        const auto index =
+            static_cast<std::size_t>(entry.at("task").asNumber());
+        if (index >= outcome->rows.size()) {
+            throw PIM_SIM_FAULT(SimFaultKind::Config, "checkpoint ", path,
+                                " references task ", index,
+                                " outside the grid");
+        }
+        SweepRow& row = outcome->rows[index];
+        row.metrics.clear();
+        for (const JsonValue& m : entry.at("metrics").asArray()) {
+            const std::string& name = m.at("k").asString();
+            if (m.has("b")) {
+                row.metrics.emplace_back(
+                    name, ParamValue::ofNumber(
+                              doubleFromBitsHex(m.at("b").asString())));
+            } else {
+                row.metrics.emplace_back(
+                    name, ParamValue::ofText(m.at("s").asString()));
+            }
+        }
+        row.failed = entry.at("failed").asBool();
+        row.faultKind =
+            row.failed ? entry.at("fault_kind").asString() : "";
+        row.message = row.failed ? entry.at("message").asString() : "";
+        row.attempts = entry.has("attempts")
+                           ? static_cast<std::uint32_t>(
+                                 entry.at("attempts").asNumber())
+                           : 1;
+        row.done = true;
+        row.resumed = true;
+        ++restored;
+    }
+    return restored;
+}
+
 } // namespace
+
+std::uint32_t
+retryBackoffMs(const RetryPolicy& policy, std::uint32_t retry_index)
+{
+    if (retry_index == 0)
+        return 0;
+    std::uint64_t ms = policy.backoffBaseMs;
+    for (std::uint32_t i = 1;
+         i < retry_index && ms < policy.backoffCapMs; ++i)
+        ms *= 2;
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(ms, policy.backoffCapMs));
+}
+
+void
+runWithRetry(const RetryPolicy& policy,
+             const std::function<bool()>& attempt,
+             RetryAccounting* accounting,
+             const std::function<void(std::uint32_t)>& sleep_ms)
+{
+    for (std::uint32_t i = 0;; ++i) {
+        if (accounting != nullptr)
+            ++accounting->attempts;
+        const bool transient_failure = attempt();
+        if (!transient_failure || i >= policy.retries)
+            return;
+        const std::uint32_t backoff = retryBackoffMs(policy, i + 1);
+        if (accounting != nullptr)
+            accounting->backoffsMs.push_back(backoff);
+        if (sleep_ms)
+            sleep_ms(backoff);
+    }
+}
+
+std::string
+sweepConfigHash(const SweepSpec& spec, const SweepOptions& options)
+{
+    std::uint64_t h = mixString(mix(0, spec.seed), spec.name);
+    for (std::size_t e = 0; e < spec.experiments.size(); ++e) {
+        const SweepExperiment& experiment = spec.experiments[e];
+        h = mixString(h, experiment.id);
+        h = mixString(h, taskKindName(experiment.kind));
+        for (SweepPoint& point : experiment.expand()) {
+            if (options.scale != 0 && experiment.kind == TaskKind::Kl1)
+                point.set("scale", ParamValue::ofNumber(options.scale));
+            h = mixString(h, point.toString());
+        }
+    }
+    return hex16(h);
+}
 
 SweepOutcome
 runSweep(const SweepSpec& spec, const SweepOptions& options)
@@ -352,28 +563,104 @@ runSweep(const SweepSpec& spec, const SweepOptions& options)
         }
     }
 
+    const std::string config_hash = sweepConfigHash(spec, options);
+    const std::string ckpt_path =
+        options.outDir.empty()
+            ? ""
+            : (std::filesystem::path(options.outDir) /
+               sweepCheckpointName()).string();
+
+    if (options.resume && !ckpt_path.empty())
+        outcome.resumedRows = loadCheckpoint(ckpt_path, config_hash,
+                                             &outcome);
+
+    // Pending tasks in index order; --max-tasks caps how many this
+    // invocation runs (the deterministic "interrupt" used by the
+    // resume ctest).
+    std::vector<SweepRow*> pending;
+    for (SweepRow& row : outcome.rows) {
+        if (!row.done)
+            pending.push_back(&row);
+    }
+    if (options.maxTasks != 0 && pending.size() > options.maxTasks)
+        pending.resize(options.maxTasks);
+
+    // Checkpoint plumbing: done flags flip only under the mutex, so the
+    // serializer (also under it) never reads a half-filled row.
+    std::mutex done_mutex;
+    std::size_t completed_this_run = 0;
+    const auto write_checkpoint_locked = [&] {
+        if (ckpt_path.empty())
+            return;
+        std::string error;
+        if (!writeFileAtomic(ckpt_path,
+                             renderCheckpoint(outcome, config_hash),
+                             &error)) {
+            std::fprintf(stderr, "pim_sweep: checkpoint: %s\n",
+                         error.c_str());
+        }
+    };
+
     const Clock::time_point wall_start = Clock::now();
     {
         ThreadPool pool(outcome.jobs);
-        for (SweepRow& row : outcome.rows) {
+        for (SweepRow* row_ptr : pending) {
+            SweepRow& row = *row_ptr;
             const TaskKind kind = spec.experiments[row.experiment].kind;
             const std::uint64_t derived_seed =
                 deriveSeed(spec.seed, row.taskIndex);
-            pool.submit([&row, kind, derived_seed] {
-                const double start = threadSeconds();
-                try {
-                    if (kind == TaskKind::Kl1)
-                        runKl1Task(row);
-                    else
-                        runStressTask(row, derived_seed);
-                } catch (const SimFault& fault) {
-                    // A faulting point is a result, not a crash: record
-                    // it and keep the pool draining the rest of the grid.
-                    row.failed = true;
-                    row.faultKind = simFaultKindName(fault.kind());
-                    row.message = fault.message();
-                }
-                row.seconds = threadSeconds() - start;
+            pool.submit([&row, &options, &done_mutex, &completed_this_run,
+                         &write_checkpoint_locked, kind, derived_seed] {
+                RetryAccounting accounting;
+                runWithRetry(
+                    options.retry,
+                    [&] {
+                        // One attempt: reset the slot, run, classify. A
+                        // faulting point is a result, not a crash — only
+                        // transient kinds (timeouts) are worth retrying.
+                        row.metrics.clear();
+                        row.failed = false;
+                        row.faultKind.clear();
+                        row.message.clear();
+                        const double start = threadSeconds();
+                        try {
+                            if (kind == TaskKind::Kl1)
+                                runKl1Task(row, options.timeoutSeconds);
+                            else
+                                runStressTask(row, derived_seed,
+                                              options.timeoutSeconds);
+                        } catch (const SimFault& fault) {
+                            row.failed = true;
+                            row.faultKind = simFaultKindName(fault.kind());
+                            row.message = fault.message();
+                        }
+                        row.seconds += threadSeconds() - start;
+                        const bool transient =
+                            row.failed &&
+                            (row.faultKind ==
+                                 simFaultKindName(SimFaultKind::Timeout));
+                        if (transient)
+                            row.retriedKinds.push_back(row.faultKind);
+                        return transient;
+                    },
+                    &accounting,
+                    [](std::uint32_t ms) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(ms));
+                    });
+                row.attempts = accounting.attempts;
+                // The final attempt was not retried; its kind is not a
+                // "retried" one unless a later attempt actually ran.
+                if (row.retriedKinds.size() == accounting.attempts &&
+                    !row.retriedKinds.empty())
+                    row.retriedKinds.pop_back();
+
+                std::lock_guard<std::mutex> lock(done_mutex);
+                row.done = true;
+                ++completed_this_run;
+                if (options.checkpointEvery != 0 &&
+                    completed_this_run % options.checkpointEvery == 0)
+                    write_checkpoint_locked();
             });
         }
         pool.wait();
@@ -382,21 +669,38 @@ runSweep(const SweepSpec& spec, const SweepOptions& options)
         std::chrono::duration<double>(Clock::now() - wall_start).count();
 
     // Single-threaded aggregation in task order (determinism barrier).
+    outcome.complete = true;
     for (const SweepRow& row : outcome.rows) {
+        if (!row.done) {
+            outcome.complete = false;
+            continue;
+        }
+        ++outcome.completedRows;
         outcome.taskSecondsSum += row.seconds;
         if (row.failed)
             ++outcome.failedRows;
-        std::uint64_t h = mix(0, row.taskIndex);
-        h = mixString(h, row.params.toString());
-        for (const auto& [name, value] : row.metrics) {
-            h = mixString(h, name);
-            h = mixString(h, value.toString());
-        }
-        h = mix(h, row.failed ? 1 : 0);
-        outcome.fingerprint = mix(outcome.fingerprint, h);
+        if (row.attempts > 1)
+            ++outcome.retriedRows;
     }
 
-    outcome.sweepJson = renderSweepJson(spec, outcome, options);
+    if (outcome.complete) {
+        for (const SweepRow& row : outcome.rows) {
+            std::uint64_t h = mix(0, row.taskIndex);
+            h = mixString(h, row.params.toString());
+            for (const auto& [name, value] : row.metrics) {
+                h = mixString(h, name);
+                h = mixString(h, value.toString());
+            }
+            h = mix(h, row.failed ? 1 : 0);
+            outcome.fingerprint = mix(outcome.fingerprint, h);
+        }
+        outcome.sweepJson = renderSweepJson(spec, outcome, options);
+    } else {
+        // Partial run (--max-tasks): the checkpoint is the product; a
+        // half-grid SWEEP document would masquerade as a full one.
+        std::lock_guard<std::mutex> lock(done_mutex);
+        write_checkpoint_locked();
+    }
     return outcome;
 }
 
@@ -408,6 +712,10 @@ renderPerfJson(const SweepOutcome& outcome)
     json.beginObject();
     json.field("jobs", static_cast<std::uint64_t>(outcome.jobs));
     json.field("tasks", static_cast<std::uint64_t>(outcome.rows.size()));
+    json.field("completed_rows",
+               static_cast<std::uint64_t>(outcome.completedRows));
+    json.field("resumed_rows",
+               static_cast<std::uint64_t>(outcome.resumedRows));
     json.field("wall_seconds", outcome.wallSeconds);
     json.field("task_seconds_sum", outcome.taskSecondsSum);
     json.field("sims_per_sec",
@@ -421,6 +729,27 @@ renderPerfJson(const SweepOutcome& outcome)
                outcome.wallSeconds == 0
                    ? 1.0
                    : outcome.taskSecondsSum / outcome.wallSeconds);
+    // Retry history lives here, NOT in SWEEP.json: attempt counts
+    // depend on wall-clock behavior, and the SWEEP document must be
+    // byte-identical for any retry history (docs/ROBUSTNESS.md).
+    json.field("retried_rows",
+               static_cast<std::uint64_t>(outcome.retriedRows));
+    json.key("retries");
+    json.beginArray();
+    for (const SweepRow& row : outcome.rows) {
+        if (row.attempts <= 1)
+            continue;
+        json.beginObject();
+        json.field("task", static_cast<std::uint64_t>(row.taskIndex));
+        json.field("attempts", static_cast<std::uint64_t>(row.attempts));
+        json.key("retried_kinds");
+        json.beginArray();
+        for (const std::string& kind : row.retriedKinds)
+            json.value(kind);
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
     json.endObject();
     return os.str();
 }
@@ -433,25 +762,27 @@ writeSweepFiles(const SweepSpec& spec, const SweepOutcome& outcome,
     if (options.outDir.empty())
         return true;
 
-    std::error_code ec;
-    fs::create_directories(fs::path(options.outDir), ec);
-    if (ec) {
-        std::fprintf(stderr, "pim_sweep: cannot create %s: %s\n",
-                     options.outDir.c_str(), ec.message().c_str());
-        return false;
-    }
-
     bool ok = true;
     const auto write_file = [&ok](const fs::path& path,
                                   const std::string& content) {
-        std::ofstream out(path, std::ios::binary);
-        out << content;
-        if (!out.good()) {
-            std::fprintf(stderr, "pim_sweep: cannot write %s\n",
-                         path.string().c_str());
+        // Atomic publish (temp + rename): a killed process leaves the
+        // previous complete document, never a torn half-written one.
+        std::string error;
+        if (!writeFileAtomic(path.string(), content, &error)) {
+            std::fprintf(stderr, "pim_sweep: %s\n", error.c_str());
             ok = false;
         }
     };
+
+    if (!outcome.complete) {
+        // Partial run: the checkpoint (already on disk, written by
+        // runSweep) is the only valid artifact. Refresh the perf
+        // sidecar so operators can see slice throughput, but never
+        // publish a partial SWEEP.json.
+        write_file(fs::path(options.outDir) / "SWEEP.perf.json",
+                   renderPerfJson(outcome) + "\n");
+        return ok;
+    }
 
     write_file(fs::path(options.outDir) / "SWEEP.json", outcome.sweepJson);
     write_file(fs::path(options.outDir) / "SWEEP.perf.json",
@@ -481,6 +812,12 @@ writeSweepFiles(const SweepSpec& spec, const SweepOutcome& outcome,
                        ("BENCH_sweep_" + spec.experiments[e].id + ".json"),
                    os.str());
     }
+
+    // The grid is fully drained and published; the checkpoint would
+    // only confuse a later --resume of a different grid in the same
+    // directory.
+    std::error_code ec;
+    fs::remove(fs::path(options.outDir) / sweepCheckpointName(), ec);
     return ok;
 }
 

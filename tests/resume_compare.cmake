@@ -1,0 +1,73 @@
+# End-to-end checkpoint/resume acceptance (ctest `soak` label,
+# docs/ROBUSTNESS.md): an interrupted-then-resumed pim_sweep run must
+# produce a SWEEP.json byte-identical to an uninterrupted run of the
+# same spec.
+#
+# Usage:
+#   cmake -DSWEEP=<pim_sweep path> -DWORK=<scratch dir>
+#         -P resume_compare.cmake
+#
+# Flow:
+#   1. uninterrupted: --spec=smoke --out=WORK/full
+#   2. interrupted:   --spec=smoke --out=WORK/sliced --max-tasks=2
+#      (leaves SWEEP.ckpt.json, must NOT leave a SWEEP.json)
+#   3. resumed:       --spec=smoke --out=WORK/sliced --resume
+#      (restores the checkpoint, finishes the grid, removes the ckpt)
+#   4. byte-compare the two SWEEP.json documents.
+
+foreach(var SWEEP WORK)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "resume_compare.cmake: ${var} is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+execute_process(COMMAND ${SWEEP} --spec=smoke --jobs=2 --out=${WORK}/full
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resume: uninterrupted run exited with ${rc}")
+endif()
+
+execute_process(COMMAND ${SWEEP} --spec=smoke --jobs=2
+                        --out=${WORK}/sliced --max-tasks=2
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resume: interrupted run exited with ${rc}")
+endif()
+if(EXISTS ${WORK}/sliced/SWEEP.json)
+    message(FATAL_ERROR
+            "resume: interrupted run published a partial SWEEP.json")
+endif()
+if(NOT EXISTS ${WORK}/sliced/SWEEP.ckpt.json)
+    message(FATAL_ERROR "resume: interrupted run left no checkpoint")
+endif()
+
+execute_process(COMMAND ${SWEEP} --spec=smoke --jobs=2
+                        --out=${WORK}/sliced --resume
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resume: resumed run exited with ${rc}")
+endif()
+if(EXISTS ${WORK}/sliced/SWEEP.ckpt.json)
+    message(FATAL_ERROR
+            "resume: checkpoint not cleaned up after publication")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK}/full/SWEEP.json ${WORK}/sliced/SWEEP.json
+                RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+    find_program(DIFF_TOOL diff)
+    if(DIFF_TOOL)
+        execute_process(COMMAND ${DIFF_TOOL} -u ${WORK}/full/SWEEP.json
+                                ${WORK}/sliced/SWEEP.json
+                        OUTPUT_VARIABLE diff_text)
+        message(STATUS "diff (uninterrupted vs resumed):\n${diff_text}")
+    endif()
+    message(FATAL_ERROR
+            "resume: interrupted-then-resumed SWEEP.json is NOT "
+            "byte-identical to the uninterrupted run")
+endif()
+message(STATUS "resume: SWEEP.json byte-identical across interrupt/resume")
