@@ -10,9 +10,12 @@
  * repository's standard documents: `bench` (a table binary's --json
  * report), `sweep` (pim_sweep's SWEEP.json, docs/EXPERIMENTS.md),
  * `sweep-perf` (its SWEEP.perf.json engine-throughput sidecar), `perf`
- * (pim_perf's BENCH_perf.json snoop-filter throughput report) and
- * `campaign` (pim_soak's CAMPAIGN.json, docs/ROBUSTNESS.md).
- * Explicit --require paths are checked in addition.
+ * (pim_perf's BENCH_perf.json snoop-filter throughput report),
+ * `campaign` (pim_soak's CAMPAIGN.json, docs/ROBUSTNESS.md),
+ * `attribution` (the miss/cycle attribution report,
+ * docs/OBSERVABILITY.md) and `history` (pim_report's
+ * BENCH_HISTORY.jsonl ledger — JSONL, so each line is validated as its
+ * own document). Explicit --require paths are checked in addition.
  *
  * Exit codes: 0 = all files parse and all required paths resolve;
  * 1 = a parse failure or a missing path. Used by the ctest `obs` and
@@ -20,6 +23,7 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -39,7 +43,8 @@ usage()
         "  Parses each FILE as JSON and verifies every --require dotted\n"
         "  path resolves (numeric segments index arrays).\n"
         "  --schema adds a built-in path set: bench, sweep, sweep-perf,\n"
-        "  perf, campaign.\n");
+        "  perf, campaign, attribution, history (history validates each\n"
+        "  JSONL line as its own document).\n");
 }
 
 /** Built-in required paths for @p schema; false if unknown. */
@@ -93,6 +98,35 @@ schemaPaths(const std::string& schema, std::vector<std::string>* out)
                 "escaped"};
         return true;
     }
+    if (schema == "attribution") {
+        // The attribution engine's report (docs/OBSERVABILITY.md).
+        *out = {"name",
+                "pes",
+                "miss_classes.total",
+                "miss_classes.cold",
+                "miss_classes.capacity",
+                "miss_classes.conflict",
+                "miss_classes.invalidation",
+                "miss_classes.lock_purge",
+                "miss_classes.flush",
+                "buckets.0.bucket",
+                "buckets.0.cycles",
+                "buckets.0.transactions",
+                "by_op",
+                "by_pe.0.pe",
+                "hot_blocks",
+                "locks",
+                "waits",
+                "cross_check.bus_total_cycles",
+                "cross_check.attributed_cycles",
+                "cross_check.match"};
+        return true;
+    }
+    if (schema == "history") {
+        // One pim_report ledger record (each JSONL line is one doc).
+        *out = {"seq", "stamp", "label", "inputs", "metrics"};
+        return true;
+    }
     if (schema == "perf") {
         // pim_perf's BENCH_perf.json snoop-filter throughput report.
         *out = {"name",
@@ -131,7 +165,8 @@ main(int argc, char** argv)
         if (!schemaPaths(schema, &required)) {
             std::fprintf(stderr,
                          "json_check: unknown schema '%s' (expected "
-                         "bench, sweep, sweep-perf, perf or campaign)\n",
+                         "bench, sweep, sweep-perf, perf, campaign, "
+                         "attribution or history)\n",
                          schema.c_str());
             return 1;
         }
@@ -143,8 +178,60 @@ main(int argc, char** argv)
             required.push_back(arg.substr(prefix.size()));
     }
 
+    const bool jsonl = opts.getString("schema", "") == "history";
+
     int failures = 0;
     for (const std::string& path : opts.positional()) {
+        if (jsonl) {
+            // A ledger is JSONL: every non-blank line is one record and
+            // must satisfy the schema on its own.
+            std::ifstream in(path, std::ios::binary);
+            if (!in) {
+                std::fprintf(stderr, "json_check: %s: cannot open\n",
+                             path.c_str());
+                ++failures;
+                continue;
+            }
+            std::string line;
+            std::size_t line_no = 0;
+            std::size_t records = 0;
+            int bad = 0;
+            while (std::getline(in, line)) {
+                ++line_no;
+                if (line.find_first_not_of(" \t\r") == std::string::npos)
+                    continue;
+                ++records;
+                JsonValue rec;
+                try {
+                    rec = JsonValue::parse(line);
+                } catch (const SimFault& fault) {
+                    std::fprintf(stderr, "json_check: %s:%zu: %s\n",
+                                 path.c_str(), line_no, fault.what());
+                    ++bad;
+                    continue;
+                }
+                for (const std::string& req : required) {
+                    if (rec.findPath(req) == nullptr) {
+                        std::fprintf(stderr,
+                                     "json_check: %s:%zu: missing "
+                                     "required path '%s'\n",
+                                     path.c_str(), line_no, req.c_str());
+                        ++bad;
+                    }
+                }
+            }
+            if (records == 0) {
+                std::fprintf(stderr, "json_check: %s: no records\n",
+                             path.c_str());
+                ++bad;
+            }
+            failures += bad;
+            if (bad == 0) {
+                std::printf("json_check: %s: ok (%zu ledger records)\n",
+                            path.c_str(), records);
+            }
+            continue;
+        }
         JsonValue doc;
         try {
             doc = JsonValue::parseFile(path);

@@ -4,12 +4,25 @@
  * throughput of the cache/bus model on synthetic traffic, and
  * reductions/second of the KL1 emulator. These measure the tool, not
  * the paper's system.
+ *
+ * The main wrapper matches the other bench binaries: escaped SimFaults
+ * exit with their structured family code (runBenchMain), and
+ * --json=PATH (or REPRO_JSON) lands a BENCH_microbench.json document
+ * (one row per benchmark run, validated by `json_check --schema=bench`)
+ * next to google-benchmark's normal console output. The wall-clock
+ * fields deliberately avoid the "measured*" prefix the table binaries
+ * use for simulated numbers, so pim_report's ledger never golden-gates
+ * machine-dependent timings.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bench_kl1/programs.h"
 #include "bench_kl1/workload.h"
+#include "bench_util.h"
 #include "kl1/compiler.h"
 #include "kl1/parser.h"
 #include "sim/trace_replay.h"
@@ -94,7 +107,89 @@ BM_CompileBenchmarks(benchmark::State& state)
 }
 BENCHMARK(BM_CompileBenchmarks);
 
+/**
+ * ConsoleReporter that also captures every per-iteration run row, so
+ * the JSON document carries the same numbers the console shows.
+ */
+class CaptureReporter final : public benchmark::ConsoleReporter
+{
+  public:
+    struct Row {
+        std::string name;
+        std::uint64_t iterations = 0;
+        double timePerIter = 0; ///< In timeUnit (ns by default).
+        std::string timeUnit;
+        double itemsPerSec = 0;
+        bool hasItems = false;
+    };
+
+    std::vector<Row> rows;
+
+    void
+    ReportRuns(const std::vector<Run>& runs) override
+    {
+        for (const Run& run : runs) {
+            if (run.error_occurred || run.run_type != Run::RT_Iteration)
+                continue;
+            Row row;
+            row.name = run.run_name.str();
+            row.iterations = static_cast<std::uint64_t>(run.iterations);
+            row.timePerIter = run.GetAdjustedRealTime();
+            row.timeUnit = benchmark::GetTimeUnitString(run.time_unit);
+            const auto item = run.counters.find("items_per_second");
+            if (item != run.counters.end()) {
+                row.itemsPerSec = item->second;
+                row.hasItems = true;
+            }
+            rows.push_back(row);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
+int
+microbenchMain(int argc, char** argv)
+{
+    using namespace pim::kl1::bench;
+
+    // benchmark::Initialize consumes the --benchmark_* flags and leaves
+    // ours (--json/--scale/--pes) in argv for the shared bench parser.
+    benchmark::Initialize(&argc, argv);
+    BenchContext ctx = BenchContext::parse(argc, argv);
+
+    CaptureReporter reporter;
+    const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (ran == 0) {
+        std::fprintf(stderr,
+                     "microbench_cache: no benchmarks matched the "
+                     "filter\n");
+        return 1;
+    }
+
+    BenchJson json(ctx, "microbench");
+    for (const CaptureReporter::Row& row : reporter.rows) {
+        json.row();
+        json.set("bench", row.name);
+        json.set("iterations", row.iterations);
+        json.set("time_per_iter", row.timePerIter);
+        json.set("time_unit", row.timeUnit);
+        if (row.hasItems)
+            json.set("items_per_second", row.itemsPerSec);
+    }
+    if (!json.write())
+        return 1;
+    if (json.enabled())
+        std::printf("json: %s\n", json.path().c_str());
+    return 0;
+}
+
 } // namespace
 } // namespace pim
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    return pim::kl1::bench::runBenchMain(
+        "microbench_cache", [&] { return pim::microbenchMain(argc, argv); });
+}

@@ -21,7 +21,11 @@
  * PE, which cannot deadlock (no hold-and-wait).
  *
  *   pim_perf [--pes=N] [--scale=N] [--reps=N] [--smoke]
- *            [--min-speedup=X] [--json=PATH]
+ *            [--min-speedup=X] [--json=PATH] [--attribution-out=PATH]
+ *
+ * --attribution-out=PATH adds one extra *untimed* run at the largest PE
+ * point with the attribution engine attached and writes its miss/cycle
+ * report there (schema `attribution`); the timed points stay bare.
  *
  * --min-speedup=X fails (exit 1) if the largest PE point's speedup is
  * below X. --smoke shrinks the grid for CI, where wall-clock ratios on
@@ -33,6 +37,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,6 +45,7 @@
 #include "bus/bus.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "obs/attribution.h"
 #include "sim/system.h"
 
 using namespace pim;
@@ -100,10 +106,18 @@ struct Shape {
  * filter on or off, repeated @p reps times; keeps the fastest wall
  * time. Every rep is the same pure function of the seed, so the
  * non-timing observables are identical across reps.
+ *
+ * When @p attr_out is non-null an AttributionEngine rides along (and is
+ * returned through it, with the final BusStats in @p stats_out). Only
+ * the dedicated --attribution-out run uses this: the timed A/B points
+ * always run bare so the sink never pollutes the measurement. Callers
+ * pass reps=1 there — the engine accumulates across reps otherwise.
  */
 Measurement
 runWorkload(std::uint32_t pes, std::uint64_t steps, bool filter,
-            std::uint32_t reps, std::uint64_t seed, const Shape& shape)
+            std::uint32_t reps, std::uint64_t seed, const Shape& shape,
+            std::unique_ptr<AttributionEngine>* attr_out = nullptr,
+            BusStats* stats_out = nullptr)
 {
     Measurement m;
     for (std::uint32_t rep = 0; rep < reps; ++rep) {
@@ -119,6 +133,13 @@ runWorkload(std::uint32_t pes, std::uint64_t steps, bool filter,
             (rec_base + (steps + 2) * block + block - 1) / block * block;
         sys_config.validate();
         System system(sys_config);
+        if (attr_out != nullptr) {
+            const auto& geom = sys_config.cache.geometry;
+            *attr_out = std::make_unique<AttributionEngine>(
+                pes, sys_config.timing, geom.blockWords,
+                geom.ways * geom.sets);
+            system.addEventSink(attr_out->get());
+        }
 
         struct PeState {
             bool hasRetry = false;
@@ -272,6 +293,8 @@ runWorkload(std::uint32_t pes, std::uint64_t steps, bool filter,
         for (int p = 0; p < kNumBusPatterns; ++p)
             m.busTrans += system.bus().stats().transByPattern[p];
         m.protoHash = system.protocolHash(0, shape.spanWords);
+        if (stats_out != nullptr)
+            *stats_out = system.bus().stats();
     }
     return m;
 }
@@ -410,6 +433,31 @@ perfMain(int argc, char** argv)
                     "--min-speedup=%.2f gate\n",
                     last_speedup, pe_points.back(), min_speedup);
         ++failures;
+    }
+
+    const std::string attribution_out =
+        ctx.options.getString("attribution-out", "");
+    if (!attribution_out.empty()) {
+        // One extra untimed run with the engine attached; the timed A/B
+        // points above never carry a sink.
+        std::unique_ptr<AttributionEngine> attr;
+        BusStats attr_stats;
+        runWorkload(max_pes, steps, /*filter=*/true, /*reps=*/1,
+                    /*seed=*/1, shape, &attr, &attr_stats);
+        const std::string attr_error = attr->crossCheck(attr_stats);
+        if (!attr_error.empty()) {
+            std::printf("FAIL: attribution cross-check: %s\n",
+                        attr_error.c_str());
+            ++failures;
+        } else if (attr->writeFile(attribution_out, attr_stats)) {
+            std::printf("attribution: %llu classified misses -> %s\n",
+                        static_cast<unsigned long long>(
+                            attr->classifiedMisses()),
+                        attribution_out.c_str());
+        } else {
+            std::printf("FAIL: cannot write %s\n", attribution_out.c_str());
+            ++failures;
+        }
     }
 
     if (!json.write())

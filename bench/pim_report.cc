@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Cross-run perf regression ledger CLI (docs/OBSERVABILITY.md, ctest
+ * label `obs`).
+ *
+ * Ingests the machine-readable outputs of the other binaries —
+ * BENCH_*.json, SWEEP.json, SWEEP.perf.json, CAMPAIGN.json, attribution
+ * documents — into one ledger record, appends it to an append-only
+ * BENCH_HISTORY.jsonl, gates it against the previous record, and
+ * optionally writes a markdown trend report:
+ *
+ *   pim_report BENCH_perf.json SWEEP.json --history=BENCH_HISTORY.jsonl \
+ *       [--out=TREND.md] [--label=ci] [--stamp=...] [--max-drop-pct=20] \
+ *       [--exact-tol-pct=0] [--update-golden] [--no-append] \
+ *       [--trend-limit=N]
+ *
+ * Throughput metrics (refs/sec, sims/sec) fail only on a drop beyond
+ * --max-drop-pct; exact metrics (simulated cycles, bus totals, failure
+ * counts) fail on any drift unless --update-golden accepts the new
+ * values. Exit codes: 0 = gate passed, 3 = regression detected,
+ * 1 = usage error, 10/11 = config/parse faults (runBenchMain).
+ */
+
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/fs_util.h"
+#include "common/json.h"
+#include "common/options.h"
+#include "obs/perf_ledger.h"
+
+using namespace pim;
+using namespace pim::kl1::bench;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "pim_report: perf regression ledger over bench/sweep JSON\n"
+        "usage: pim_report FILES... --history=PATH [options]\n"
+        "  --history=PATH      BENCH_HISTORY.jsonl ledger (required)\n"
+        "  --out=PATH          write a markdown trend report\n"
+        "  --label=S           record label (default 'local')\n"
+        "  --stamp=S           record timestamp (default: current UTC;\n"
+        "                      pass a fixed value for reproducible runs)\n"
+        "  --max-drop-pct=X    allowed throughput drop (default 20)\n"
+        "  --exact-tol-pct=X   allowed exact-metric drift (default 0)\n"
+        "  --update-golden     accept exact drift as the new golden\n"
+        "  --no-append         gate only, do not grow the ledger\n"
+        "  --trend-limit=N     trend rows per metric (default 10)\n"
+        "exit: 0 gate passed, 3 regression detected, 1 usage\n");
+}
+
+std::string
+utcNow()
+{
+    char buf[32];
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc;
+    gmtime_r(&now, &tm_utc);
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    return buf;
+}
+
+int
+reportMain(int argc, char** argv)
+{
+    const Options opts = Options::parse(argc, argv);
+    if (opts.getBool("help")) {
+        usage();
+        return 0;
+    }
+    const std::string history_path = opts.getString("history", "");
+    const std::vector<std::string>& files = opts.positional();
+    if (history_path.empty() || files.empty()) {
+        usage();
+        return 1;
+    }
+
+    GateConfig gate_config;
+    gate_config.maxDropPct = opts.getDouble("max-drop-pct", 20.0);
+    gate_config.exactTolPct = opts.getDouble("exact-tol-pct", 0.0);
+    gate_config.updateGolden = opts.getBool("update-golden");
+
+    // One record for the whole invocation: every input document's
+    // metrics, namespaced by document shape so they never collide.
+    LedgerRecord record;
+    record.stamp = opts.getString("stamp", utcNow());
+    record.label = opts.getString("label", "local");
+    for (const std::string& file : files) {
+        const JsonValue doc = JsonValue::parseFile(file);
+        const std::map<std::string, LedgerMetric> metrics =
+            extractLedgerMetrics(doc);
+        if (metrics.empty()) {
+            std::printf("note: %s: no tracked metrics (unknown shape)\n",
+                        file.c_str());
+            continue;
+        }
+        record.inputs.push_back(file);
+        for (const auto& [key, metric] : metrics)
+            record.metrics[key] = metric;
+    }
+    if (record.metrics.empty()) {
+        std::fprintf(stderr,
+                     "pim_report: no tracked metrics in any input\n");
+        return 1;
+    }
+
+    std::vector<LedgerRecord> history = loadLedger(history_path);
+    record.seq = history.empty() ? 1 : history.back().seq + 1;
+
+    GateResult gate;
+    if (history.empty()) {
+        std::printf("ledger %s is empty: seeding baseline record\n",
+                    history_path.c_str());
+    } else {
+        gate = gateRecords(history.back(), record, gate_config);
+    }
+
+    if (!opts.getBool("no-append"))
+        appendLedger(history_path, record);
+    history.push_back(record);
+
+    const std::string trend_out = opts.getString("out", "");
+    if (!trend_out.empty()) {
+        const std::size_t limit = static_cast<std::size_t>(
+            opts.getInt("trend-limit", 10));
+        std::string error;
+        if (!writeFileAtomic(trend_out, trendMarkdown(history, limit),
+                             &error)) {
+            std::fprintf(stderr, "pim_report: cannot write %s: %s\n",
+                         trend_out.c_str(), error.c_str());
+            return 1;
+        }
+        std::printf("trend -> %s\n", trend_out.c_str());
+    }
+
+    std::printf("record seq %llu: %zu metric(s) from %zu input(s), "
+                "%llu compared against the previous record\n",
+                static_cast<unsigned long long>(record.seq),
+                record.metrics.size(), record.inputs.size(),
+                static_cast<unsigned long long>(gate.compared));
+    for (const std::string& note : gate.notes)
+        std::printf("note: %s\n", note.c_str());
+    for (const GateFinding& finding : gate.regressions) {
+        std::printf("REGRESSION: %s: %g -> %g (%+.1f%%, %s)\n",
+                    finding.metric.c_str(), finding.baseline,
+                    finding.current, finding.deltaPct,
+                    finding.exact ? "exact metric drifted"
+                                  : "throughput drop beyond gate");
+    }
+    if (gate.failed()) {
+        std::printf("gate: FAILED with %zu regression(s)\n",
+                    gate.regressions.size());
+        return 3;
+    }
+    std::printf("gate: ok\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    return runBenchMain("pim_report",
+                        [&] { return reportMain(argc, argv); });
+}

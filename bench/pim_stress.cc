@@ -49,6 +49,9 @@ usage()
         "  --timeline-out=PATH dump Chrome trace-event timeline (always;\n"
         "                      with --trace-out only, dumped on failure\n"
         "                      as <trace-out>.timeline.json)\n"
+        "  --attribution-out=PATH  dump the miss/cycle attribution report\n"
+        "                      as JSON (schema `attribution`, always;\n"
+        "                      docs/OBSERVABILITY.md)\n"
         "  --no-audit          detach the coherence auditor\n"
         "  --no-snoop-filter   disable the exact bus-side snoop filter\n"
         "                      (identical outcomes; docs/PERFORMANCE.md)\n"
@@ -66,7 +69,8 @@ usage()
 const char* const kKnownFlags[] = {
     "seed",       "pes",        "geometry",  "steps",
     "span",       "write-pct",  "lock-pct",  "opt-pct",
-    "plan",       "trace-out",  "timeline-out", "no-audit",  "expect-fault",
+    "plan",       "trace-out",  "timeline-out", "attribution-out",
+    "no-audit",   "expect-fault",
     "replay",     "help",       "starvation-bound", "livelock-retries",
     "seeds",      "jobs",       "no-snoop-filter", "timeout",
 };
@@ -133,6 +137,7 @@ main(int argc, char** argv)
         config.planSpec = opts.getString("plan", "");
         config.traceOut = opts.getString("trace-out", "");
         config.timelineOut = opts.getString("timeline-out", "");
+        config.attributionOut = opts.getString("attribution-out", "");
         config.audit = !opts.getBool("no-audit");
         config.snoopFilter = !opts.getBool("no-snoop-filter");
         config.timeoutSeconds = opts.getDouble("timeout", 0);
@@ -211,6 +216,11 @@ main(int argc, char** argv)
         std::printf("timeline: %llu events -> %s\n",
                     static_cast<unsigned long long>(result.timelineEvents),
                     result.timelinePath.c_str());
+    }
+    if (!result.attributionPath.empty()) {
+        std::printf("attribution: %llu classified misses -> %s\n",
+                    static_cast<unsigned long long>(result.classifiedMisses),
+                    result.attributionPath.c_str());
     }
     if (!result.injectorSummary.empty())
         std::printf("faults injected: %s\n", result.injectorSummary.c_str());

@@ -8,17 +8,21 @@
  *
  *   $ ./protocol_trace
  *   $ ./protocol_trace --timeline-out=handoff.json \
- *         --metrics-out=metrics.json --report-json=report.json
+ *         --metrics-out=metrics.json --report-json=report.json \
+ *         --attribution-out=attribution.json
  *
  * The observability flags (docs/OBSERVABILITY.md) record the optimized
  * handoff: a Perfetto-loadable Chrome trace-event timeline, the metrics
- * registry (counters + histograms), and the reportAllJson document.
+ * registry (counters + histograms), the reportAllJson document, and the
+ * miss/cycle attribution report (which also lands inside the report
+ * document when both flags are given).
  */
 
 #include <cstdio>
 #include <string>
 
 #include "common/options.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "sim/report_json.h"
@@ -61,16 +65,23 @@ runHandoff(bool optimized, const Options& opts)
     // would overlap on one timeline).
     TimelineRecorder timeline;
     MetricsRegistry metrics;
+    const auto& geom = config.cache.geometry;
+    AttributionEngine attribution(config.numPes, config.timing,
+                                  geom.blockWords, geom.ways * geom.sets);
     const std::string timeline_out =
         optimized ? opts.getString("timeline-out", "") : "";
     const std::string metrics_out =
         optimized ? opts.getString("metrics-out", "") : "";
     const std::string report_out =
         optimized ? opts.getString("report-json", "") : "";
+    const std::string attribution_out =
+        optimized ? opts.getString("attribution-out", "") : "";
     if (!timeline_out.empty())
         sys.addEventSink(&timeline);
     if (!metrics_out.empty())
         sys.addEventSink(&metrics);
+    if (!attribution_out.empty())
+        sys.addEventSink(&attribution);
 
     // The sender creates the record: DW allocates without fetching.
     for (Addr a = rec; a < rec + 8; ++a) {
@@ -123,8 +134,19 @@ runHandoff(bool optimized, const Options& opts)
     }
     if (!metrics_out.empty() && metrics.writeFile(metrics_out))
         std::printf("metrics -> %s\n", metrics_out.c_str());
-    if (!report_out.empty() && reportAllJsonFile(sys, report_out))
+    if (!attribution_out.empty() &&
+        attribution.writeFile(attribution_out, sys.bus().stats())) {
+        std::printf("attribution: %llu classified misses -> %s\n",
+                    static_cast<unsigned long long>(
+                        attribution.classifiedMisses()),
+                    attribution_out.c_str());
+    }
+    if (!report_out.empty() &&
+        reportAllJsonFile(sys, report_out,
+                          attribution_out.empty() ? nullptr
+                                                  : &attribution)) {
         std::printf("report -> %s\n", report_out.c_str());
+    }
 }
 
 } // namespace

@@ -44,6 +44,28 @@ soak_smoke() {
     "${dir}/bench/json_check" --schema=campaign "${dir}/soak/CAMPAIGN.json"
 }
 
+# Perf regression ledger (docs/OBSERVABILITY.md): feed the perf smoke
+# and a sweep smoke through pim_report against the repo-root
+# BENCH_HISTORY.jsonl. The first CI run seeds the baseline; later runs
+# gate against the previous record (exit 3 = regression, fails the leg).
+# The run's attribution document is schema-checked alongside.
+report_gate() {
+    local dir="build-release"
+    echo "=== report gate (${dir}) ==="
+    "${dir}/bench/pim_sweep" --spec=smoke --jobs=2 --out="${dir}/sweep"
+    "${dir}/bench/pim_stress" --seed=1 --steps=50000 --lock-pct=20 \
+        --attribution-out="${dir}/ATTRIBUTION.json"
+    "${dir}/bench/json_check" --schema=attribution "${dir}/ATTRIBUTION.json"
+    "${dir}/bench/pim_report" \
+        "${dir}/BENCH_perf.json" \
+        "${dir}/sweep/SWEEP.json" \
+        "${dir}/sweep/SWEEP.perf.json" \
+        "${dir}/ATTRIBUTION.json" \
+        --history=BENCH_HISTORY.jsonl --label=ci \
+        --out="${dir}/TREND.md"
+    "${dir}/bench/json_check" --schema=history BENCH_HISTORY.jsonl
+}
+
 coverage_report() {
     local dir="build-coverage"
     if command -v gcovr >/dev/null 2>&1; then
@@ -66,6 +88,7 @@ for leg in "${legs[@]}"; do
         run_leg release -DCMAKE_BUILD_TYPE=Release
         perf_smoke
         soak_smoke
+        report_gate
         ;;
       asan)
         run_leg asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPIM_SANITIZE=ON

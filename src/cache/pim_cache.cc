@@ -612,6 +612,11 @@ PimCache::doReadInvalidate(const MemRef& ref, Cycles now)
 void
 PimCache::flushAll()
 {
+    // One flush event for the whole cache: the raw state writes below
+    // bypass setState, so residency-mirroring sinks reset on this
+    // instead of per-block transitions.
+    if (sink_ != nullptr)
+        sink_->onCacheFlush(pe_);
     for (Block& block : blocks_) {
         if (block.state == CacheState::INV)
             continue;

@@ -35,11 +35,14 @@ ConformanceHarness::ConformanceHarness(const HarnessConfig& config)
            std::max<std::uint64_t>(config.spanWords(), config.blockWords),
            config.lockEntries),
       sys_(makeSystemConfig(config)),
+      attribution_(config.numPes, sys_.config().timing, config.blockWords,
+                   config.ways * config.sets),
       pending_(config.numPes),
       hasPending_(config.numPes, false)
 {
     for (PeId pe = 0; pe < config_.numPes; ++pe)
         sys_.cache(pe).setProtocolMutation(config.mutation);
+    sys_.addEventSink(&attribution_);
 }
 
 ConformanceHarness::~ConformanceHarness()
@@ -352,6 +355,16 @@ ConformanceHarness::step(const ProtoCmd& cmd)
                 ref_.valueOf(addr), "; ",
                 describeBlockState(sys_, blockBaseOf(addr)));
         }
+    }
+
+    // Divergence 8: the attribution engine's bucket sums must mirror
+    // the bus statistics exactly. Last on purpose: a seeded protocol
+    // mutation should surface as the protocol divergence it causes
+    // (checks 1-7), not as an attribution artifact.
+    const std::string attr_error = attribution_.crossCheck(sys_.bus().stats());
+    if (!attr_error.empty()) {
+        throw PIM_SIM_FAULT(SimFaultKind::Protocol, ctx,
+                            ": attribution cross-check: ", attr_error);
     }
 }
 

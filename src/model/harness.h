@@ -31,6 +31,7 @@
 #include "cache/mutation.h"
 #include "model/command.h"
 #include "model/ref_machine.h"
+#include "obs/attribution.h"
 #include "sim/system.h"
 
 namespace pim {
@@ -133,6 +134,7 @@ class ConformanceHarness
     HarnessConfig config_;
     RefMachine ref_;
     System sys_;
+    AttributionEngine attribution_; ///< Always-on bucket-sum cross-check.
     std::vector<ProtoCmd> pending_;  ///< Per-PE retry command.
     std::vector<bool> hasPending_;   ///< Retry valid (parked or woken).
     std::uint64_t checks_ = 0;

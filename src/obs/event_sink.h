@@ -102,6 +102,18 @@ class EventSink
         (void)pe; (void)block_addr; (void)was_dirty; (void)when;
     }
 
+    /**
+     * The whole cache of @p pe was flushed (GC barrier): every resident
+     * block was written back if dirty and dropped. flushAll bypasses the
+     * per-block transition path, so sinks that mirror residency must
+     * clear it here instead of waiting for onCacheTransition events.
+     */
+    virtual void
+    onCacheFlush(PeId pe)
+    {
+        (void)pe;
+    }
+
     // -- Lock directory ----------------------------------------------------
 
     /** A lock-directory entry changed state (acquire, release, LH). */
@@ -193,6 +205,13 @@ class MultiSink final : public EventSink
     {
         for (EventSink* sink : sinks_)
             sink->onPurge(pe, block_addr, was_dirty, when);
+    }
+
+    void
+    onCacheFlush(PeId pe) override
+    {
+        for (EventSink* sink : sinks_)
+            sink->onCacheFlush(pe);
     }
 
     void

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Cross-run performance regression ledger (docs/OBSERVABILITY.md).
+ *
+ * The bench binaries emit BENCH_*.json / SWEEP.json documents per run,
+ * but nothing compared them across runs — a throughput regression or a
+ * silent bus-cycle drift had no guard. This library turns those
+ * documents into ledger records, appends them to an append-only
+ * BENCH_HISTORY.jsonl file (one JSON record per line), and gates the
+ * newest record against the previous one:
+ *
+ *  - *throughput* metrics (refs/sec, sims/sec, speedups) are wall-clock
+ *    noise, so only a drop beyond GateConfig::maxDropPct fails;
+ *  - *exact* metrics (simulated cycles, bus transactions, makespans,
+ *    failure counts) are pure functions of the seed, so any drift
+ *    beyond GateConfig::exactTolPct (default 0) fails unless the run
+ *    explicitly updates the golden (updateGolden).
+ *
+ * The bench/pim_report CLI is a thin wrapper over these functions; the
+ * logic lives here so tests can drive every gate path directly.
+ */
+
+#ifndef PIMCACHE_OBS_PERF_LEDGER_H_
+#define PIMCACHE_OBS_PERF_LEDGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pim {
+
+class JsonValue;
+
+/** One tracked number. Exact metrics golden-gate; others drop-gate. */
+struct LedgerMetric {
+    double value = 0;
+    bool exact = false;
+};
+
+/** One ledger line: a run's metrics plus provenance. */
+struct LedgerRecord {
+    std::uint64_t seq = 0;   ///< 1-based position in the ledger.
+    std::string stamp;       ///< Timestamp or caller-chosen tag.
+    std::string label;       ///< Run label (e.g. "ci", "local").
+    std::vector<std::string> inputs; ///< Source document paths.
+    std::map<std::string, LedgerMetric> metrics;
+};
+
+/** Gate thresholds. */
+struct GateConfig {
+    double maxDropPct = 20.0; ///< Allowed throughput drop, percent.
+    double exactTolPct = 0.0; ///< Allowed exact-metric drift, percent.
+    bool updateGolden = false; ///< Accept exact drift as the new golden.
+};
+
+/** One metric that failed the gate. */
+struct GateFinding {
+    std::string metric;
+    double baseline = 0;
+    double current = 0;
+    double deltaPct = 0;
+    bool exact = false;
+};
+
+/** Gate outcome: regressions fail, notes inform. */
+struct GateResult {
+    std::vector<GateFinding> regressions;
+    std::vector<std::string> notes;
+    std::uint64_t compared = 0; ///< Metrics present in both records.
+
+    bool failed() const { return !regressions.empty(); }
+};
+
+/**
+ * Extract the tracked metrics from one parsed simulator document.
+ * Recognized shapes: pim_perf's BENCH_perf.json (refs/sec throughput +
+ * exact cycles/transactions per PE point), generic BENCH_*.json table
+ * reports (every "measured*" row field, exact), SWEEP.json (per
+ * experiment: exact makespan mean and bus-cycle total, plus
+ * failed_rows), SWEEP.perf.json (sims/sec throughput), attribution
+ * documents (exact bucket cycles and miss-class counts) and
+ * CAMPAIGN.json (exact escape count). Unknown documents yield an empty
+ * map — pim_report reports them as a note, not an error.
+ */
+std::map<std::string, LedgerMetric>
+extractLedgerMetrics(const JsonValue& doc);
+
+/** Serialize @p record as one compact JSONL line (no trailing \n). */
+std::string ledgerRecordLine(const LedgerRecord& record);
+
+/** Parse one JSONL line back into a record. @throws SimFault(Parse). */
+LedgerRecord parseLedgerRecord(const std::string& line);
+
+/**
+ * Load every record of the JSONL ledger at @p path (missing file =>
+ * empty history). Blank lines are skipped. @throws SimFault(Parse) on
+ * a malformed line (with its line number).
+ */
+std::vector<LedgerRecord> loadLedger(const std::string& path);
+
+/**
+ * Append @p record to the ledger at @p path, creating parents as
+ * needed. The whole file is re-published atomically (temp + rename) so
+ * a crash never leaves a torn line. @throws SimFault(Config) on I/O
+ * failure.
+ */
+void appendLedger(const std::string& path, const LedgerRecord& record);
+
+/** Gate @p current against @p baseline under @p config. */
+GateResult gateRecords(const LedgerRecord& baseline,
+                       const LedgerRecord& current,
+                       const GateConfig& config);
+
+/**
+ * Markdown trend report over the ledger: one section per throughput
+ * metric of the newest record (last @p last_n values with deltas), and
+ * a summary of the exact metrics under golden guard.
+ */
+std::string trendMarkdown(const std::vector<LedgerRecord>& history,
+                          std::size_t last_n = 10);
+
+} // namespace pim
+
+#endif // PIMCACHE_OBS_PERF_LEDGER_H_

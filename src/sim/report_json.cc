@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/json.h"
+#include "obs/attribution.h"
 
 namespace pim {
 
@@ -135,7 +136,8 @@ writeLocks(const System& system, JsonWriter& json)
 } // namespace
 
 void
-reportAllJson(const System& system, JsonWriter& json)
+reportAllJson(const System& system, JsonWriter& json,
+              const AttributionEngine* attribution)
 {
     json.beginObject();
     json.field("num_pes", static_cast<std::uint64_t>(system.numPes()));
@@ -150,26 +152,31 @@ reportAllJson(const System& system, JsonWriter& json)
     writeCacheSummary(system, json);
     json.key("locks");
     writeLocks(system, json);
+    if (attribution != nullptr) {
+        json.key("attribution");
+        attribution->writeJson(json, system.bus().stats());
+    }
     json.endObject();
 }
 
 std::string
-reportAllJson(const System& system)
+reportAllJson(const System& system, const AttributionEngine* attribution)
 {
     std::ostringstream os;
     JsonWriter json(os, /*pretty=*/true);
-    reportAllJson(system, json);
+    reportAllJson(system, json, attribution);
     os << "\n";
     return os.str();
 }
 
 bool
-reportAllJsonFile(const System& system, const std::string& path)
+reportAllJsonFile(const System& system, const std::string& path,
+                  const AttributionEngine* attribution)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
         return false;
-    out << reportAllJson(system);
+    out << reportAllJson(system, attribution);
     return out.good();
 }
 

@@ -20,16 +20,25 @@
 
 namespace pim {
 
+class AttributionEngine;
 class JsonWriter;
 
-/** Write all five standard reports as one JSON object to @p json. */
-void reportAllJson(const System& system, JsonWriter& json);
+/**
+ * Write all five standard reports as one JSON object to @p json. When
+ * @p attribution is non-null an "attribution" section (miss classes,
+ * bus-cycle buckets, heat tables) is appended; the default document is
+ * byte-identical to before the attribution engine existed.
+ */
+void reportAllJson(const System& system, JsonWriter& json,
+                   const AttributionEngine* attribution = nullptr);
 
 /** reportAllJson as a pretty-printed document string. */
-std::string reportAllJson(const System& system);
+std::string reportAllJson(const System& system,
+                          const AttributionEngine* attribution = nullptr);
 
 /** reportAllJson to @p path. @return false if the file cannot open. */
-bool reportAllJsonFile(const System& system, const std::string& path);
+bool reportAllJsonFile(const System& system, const std::string& path,
+                       const AttributionEngine* attribution = nullptr);
 
 } // namespace pim
 

@@ -8,6 +8,7 @@
 #include "common/strutil.h"
 #include "common/thread_pool.h"
 #include "fault/fault_injector.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "sim/system.h"
@@ -150,6 +151,14 @@ runStress(const StressConfig& config)
     // dump could be wanted (it records every event individually).
     MetricsRegistry metrics;
     system.addEventSink(&metrics);
+    // The attribution engine always rides along too: its bucket-sum
+    // cross-check below is the cycle-level sibling of the transaction
+    // count check, and must hold on every run, not only when a dump was
+    // requested.
+    AttributionEngine attribution(config.numPes, sys_config.timing,
+                                  config.blockWords,
+                                  config.ways * config.sets);
+    system.addEventSink(&attribution);
     TimelineRecorder timeline;
     const bool want_timeline =
         !config.timelineOut.empty() || !config.traceOut.empty();
@@ -326,6 +335,24 @@ runStress(const StressConfig& config)
                 "counted ", trans_by_stats, " transactions but the event "
                 "sink observed ", trans_by_events);
         }
+
+        // Attribution cross-check (the cycle-level sibling): every bus
+        // cycle must land in exactly one cause bucket, and every miss in
+        // exactly one class. A mismatch means the attribution engine
+        // misread the event stream — its reports would be lying.
+        const std::string attr_error =
+            attribution.crossCheck(system.bus().stats());
+        if (!attr_error.empty()) {
+            throw PIM_SIM_FAULT(SimFaultKind::Protocol,
+                                "attribution cross-check: ", attr_error);
+        }
+        const std::uint64_t cache_misses = system.totalCacheStats().misses;
+        if (attribution.classifiedMisses() != cache_misses) {
+            throw PIM_SIM_FAULT(
+                SimFaultKind::Protocol, "attribution cross-check: caches "
+                "counted ", cache_misses, " misses but the engine "
+                "classified ", attribution.classifiedMisses());
+        }
     } catch (const SimFault& fault) {
         result.failed = true;
         result.kind = fault.kind();
@@ -351,6 +378,12 @@ runStress(const StressConfig& config)
             result.timelinePath = path;
     }
 
+    result.classifiedMisses = attribution.classifiedMisses();
+    if (!config.attributionOut.empty() &&
+        attribution.writeFile(config.attributionOut, system.bus().stats())) {
+        result.attributionPath = config.attributionOut;
+    }
+
     result.auditChecks = auditor.checksRun();
     result.makespan = system.makespan();
     result.injectorSummary = injector.summary();
@@ -373,6 +406,8 @@ runStressBatch(const StressConfig& base, std::uint32_t count, unsigned jobs)
                 config.traceOut += suffix;
             if (!config.timelineOut.empty())
                 config.timelineOut += suffix;
+            if (!config.attributionOut.empty())
+                config.attributionOut += suffix;
             results[i] = runStress(config);
         });
     }

@@ -49,6 +49,15 @@ struct StressConfig {
      * is not part of the replay line.
      */
     std::string timelineOut;
+    /**
+     * Attribution dump path (docs/OBSERVABILITY.md). When set, the
+     * miss/cycle attribution report of the run is written here as JSON
+     * (schema `attribution`) — always, not only on failure. The engine
+     * itself rides along on every run regardless (its bucket-sum
+     * cross-check is always-on); like timelineOut this never affects
+     * the simulation, so it is not part of the replay line.
+     */
+    std::string attributionOut;
     bool audit = true;           ///< Attach the CoherenceAuditor.
     /**
      * Exact bus-side snoop filter (docs/PERFORMANCE.md). Outcomes are
@@ -93,6 +102,8 @@ struct StressResult {
     std::uint64_t traceRecords = 0; ///< Records dumped (failure + traceOut).
     std::uint64_t timelineEvents = 0; ///< Timeline events recorded.
     std::string timelinePath;       ///< Where the timeline landed ("").
+    std::uint64_t classifiedMisses = 0; ///< Misses the attribution saw.
+    std::string attributionPath;    ///< Where the attribution landed ("").
 };
 
 /**

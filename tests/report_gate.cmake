@@ -1,0 +1,114 @@
+# End-to-end regression-ledger acceptance (ctest `obs` label,
+# docs/OBSERVABILITY.md): pim_report over a real pim_perf smoke document
+# must seed a ledger, gate an identical re-run clean, and fail (exit 3)
+# on a synthetically degraded refs/sec.
+#
+# Usage:
+#   cmake -DREPORT=<pim_report path> -DCHECK=<json_check path>
+#         -DPERF_JSON=<perf smoke BENCH_perf.json> -DWORK=<scratch dir>
+#         -P report_gate.cmake
+#
+# Flow:
+#   1. seed:    pim_report PERF_JSON --history=WORK/H.jsonl  (exit 0)
+#   2. repeat:  same inputs again — appends record 2, 0 regressions
+#   3. degrade: PERF_JSON with refs_per_sec cut to ~1/100 must exit 3
+#   4. exact:   PERF_JSON with cycles_per_ref drifted must exit 3, and
+#               pass with --update-golden
+#   5. schema:  the ledger satisfies `json_check --schema=history`
+#               and the trend markdown was written.
+
+foreach(var REPORT CHECK PERF_JSON WORK)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "report_gate.cmake: ${var} is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+set(HISTORY ${WORK}/BENCH_HISTORY.jsonl)
+
+execute_process(COMMAND ${REPORT} ${PERF_JSON} --history=${HISTORY}
+                        --stamp=seed --label=gate-test
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "gate: seeding run exited with ${rc}:\n${out}")
+endif()
+
+execute_process(COMMAND ${REPORT} ${PERF_JSON} --history=${HISTORY}
+                        --stamp=repeat --label=gate-test
+                        --out=${WORK}/TREND.md
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "gate: identical re-run must pass, exited ${rc}:\n${out}")
+endif()
+if(out MATCHES "REGRESSION")
+    message(FATAL_ERROR "gate: identical re-run reported a regression:\n${out}")
+endif()
+if(NOT EXISTS ${WORK}/TREND.md)
+    message(FATAL_ERROR "gate: trend markdown was not written")
+endif()
+
+# Two identical runs => exactly two ledger records.
+file(STRINGS ${HISTORY} ledger_lines)
+list(LENGTH ledger_lines ledger_count)
+if(NOT ledger_count EQUAL 2)
+    message(FATAL_ERROR
+            "gate: expected 2 ledger records after 2 runs, found "
+            "${ledger_count}")
+endif()
+
+# Synthetically degrade the throughput: every refs_per_sec becomes 1.0
+# (any real simulator moves far more than 1.25 refs/sec, so this is
+# always a >20% drop against the seeded baseline).
+file(READ ${PERF_JSON} perf_text)
+string(REGEX REPLACE "\"refs_per_sec\": [0-9.eE+-]+"
+       "\"refs_per_sec\": 1.0" degraded_text "${perf_text}")
+if(degraded_text STREQUAL perf_text)
+    message(FATAL_ERROR "gate: could not synthesize a refs/sec drop")
+endif()
+file(WRITE ${WORK}/degraded.json "${degraded_text}")
+execute_process(COMMAND ${REPORT} ${WORK}/degraded.json
+                        --history=${HISTORY} --stamp=degraded
+                        --label=gate-test --no-append
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 3)
+    message(FATAL_ERROR
+            "gate: degraded refs/sec must exit 3, got ${rc}:\n${out}")
+endif()
+if(NOT out MATCHES "REGRESSION: perf[.]p[0-9]+[.]refs_per_sec")
+    message(FATAL_ERROR
+            "gate: degraded run did not name the refs/sec metric:\n${out}")
+endif()
+
+# Exact-metric drift: bump cycles_per_ref; must fail without
+# --update-golden and pass with it.
+string(REGEX REPLACE "(\"cycles_per_ref\": )([0-9]+)" "\\19\\2"
+       drifted_text "${perf_text}")
+if(drifted_text STREQUAL perf_text)
+    message(FATAL_ERROR "gate: could not synthesize cycles_per_ref drift")
+endif()
+file(WRITE ${WORK}/drifted.json "${drifted_text}")
+execute_process(COMMAND ${REPORT} ${WORK}/drifted.json
+                        --history=${HISTORY} --stamp=drift
+                        --label=gate-test --no-append
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 3)
+    message(FATAL_ERROR
+            "gate: exact drift must exit 3, got ${rc}:\n${out}")
+endif()
+execute_process(COMMAND ${REPORT} ${WORK}/drifted.json
+                        --history=${HISTORY} --stamp=golden
+                        --label=gate-test --no-append --update-golden
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "gate: --update-golden must accept the drift, got ${rc}:\n${out}")
+endif()
+
+execute_process(COMMAND ${CHECK} --schema=history ${HISTORY}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "gate: ledger failed the history schema:\n${out}")
+endif()
+message(STATUS "gate: seed/repeat/degrade/drift/golden paths all correct")
