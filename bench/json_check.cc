@@ -140,7 +140,10 @@ schemaPaths(const std::string& schema, std::vector<std::string>* out)
                 "rows.0.cycles_per_ref",
                 "rows.0.bus_transactions",
                 "rows.0.fingerprint",
-                "rows.0.speedup_vs_unfiltered"};
+                "rows.0.speedup_vs_unfiltered",
+                "rows.0.cluster_size",
+                "rows.0.hop_cycles",
+                "rows.0.inter_cluster_cycles"};
         return true;
     }
     return false;

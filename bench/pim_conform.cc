@@ -46,6 +46,10 @@ harnessFromOptions(const Options& opt)
     config.lockEntries =
         static_cast<std::uint32_t>(opt.getInt("lock-entries", 2));
     config.snoopFilter = !opt.getBool("no-snoop-filter");
+    config.clusterSize =
+        static_cast<std::uint32_t>(opt.getInt("cluster-size", 0));
+    config.hopCycles =
+        static_cast<std::uint32_t>(opt.getInt("hop-cycles", 4));
     const std::string mutate = opt.getString("mutate", "none");
     if (!parseProtocolMutation(mutate, &config.mutation)) {
         std::fprintf(stderr,

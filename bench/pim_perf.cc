@@ -21,7 +21,14 @@
  * PE, which cannot deadlock (no hold-and-wait).
  *
  *   pim_perf [--pes=N] [--scale=N] [--reps=N] [--smoke]
+ *            [--cluster-size=N] [--hop-cycles=N]
  *            [--min-speedup=X] [--json=PATH] [--attribution-out=PATH]
+ *
+ * --cluster-size=N partitions the PEs into per-cluster snooping buses
+ * with an inter-cluster directory (docs/ARCHITECTURE.md); 0 keeps the
+ * paper's single bus. Routing is driven by the directory, never the
+ * filter, so the filter on/off exactness gate holds under clustering
+ * too — the A/B comparison measures the same machine either way.
  *
  * --attribution-out=PATH adds one extra *untimed* run at the largest PE
  * point with the attribution engine attached and writes its miss/cycle
@@ -82,6 +89,7 @@ struct Measurement {
     std::uint64_t makespan = 0;    ///< Simulated cycles (max PE clock).
     std::uint64_t busTrans = 0;    ///< Bus transactions issued.
     std::uint64_t protoHash = 0;   ///< Protocol hash of the shared span.
+    std::uint64_t interCluster = 0; ///< Inter-cluster hop cycles paid.
 };
 
 /**
@@ -116,6 +124,7 @@ struct Shape {
 Measurement
 runWorkload(std::uint32_t pes, std::uint64_t steps, bool filter,
             std::uint32_t reps, std::uint64_t seed, const Shape& shape,
+            const ClusterConfig& cluster = ClusterConfig{},
             std::unique_ptr<AttributionEngine>* attr_out = nullptr,
             BusStats* stats_out = nullptr)
 {
@@ -124,6 +133,7 @@ runWorkload(std::uint32_t pes, std::uint64_t steps, bool filter,
         SystemConfig sys_config;
         sys_config.numPes = pes;
         sys_config.snoopFilter = filter;
+        sys_config.cluster = cluster;
         const std::uint64_t block = sys_config.cache.geometry.blockWords;
         const Addr lock_base = shape.spanWords;
         const std::uint32_t lock_words = std::max<std::uint32_t>(1, pes / 2);
@@ -293,6 +303,7 @@ runWorkload(std::uint32_t pes, std::uint64_t steps, bool filter,
         for (int p = 0; p < kNumBusPatterns; ++p)
             m.busTrans += system.bus().stats().transByPattern[p];
         m.protoHash = system.protocolHash(0, shape.spanWords);
+        m.interCluster = system.bus().stats().interClusterCycles;
         if (stats_out != nullptr)
             *stats_out = system.bus().stats();
     }
@@ -332,7 +343,10 @@ perfMain(int argc, char** argv)
     std::uint32_t max_pes = std::max<std::uint32_t>(1, ctx.pes);
     if (smoke) {
         steps = std::min<std::uint64_t>(steps, 4000);
-        max_pes = std::min<std::uint32_t>(max_pes, 4);
+        // An explicit --pes wins over the smoke cap so CI can smoke wide
+        // (e.g. 128-PE clustered) grids without the full step count.
+        if (!ctx.options.has("pes"))
+            max_pes = std::min<std::uint32_t>(max_pes, 4);
     }
     const double min_speedup =
         std::strtod(ctx.options.getString("min-speedup", "0").c_str(),
@@ -349,11 +363,23 @@ perfMain(int argc, char** argv)
     shape.optPct = static_cast<std::uint32_t>(
         ctx.options.getInt("opt-pct", shape.optPct));
 
+    ClusterConfig cluster;
+    cluster.clusterSize = static_cast<std::uint32_t>(
+        ctx.options.getInt("cluster-size", 0));
+    cluster.hopCycles = static_cast<std::uint32_t>(
+        ctx.options.getInt("hop-cycles", cluster.hopCycles));
+
     banner("pim_perf: snoop-filter simulator throughput", ctx);
     std::printf("%llu refs/point, best of %u reps, span %llu words "
-                "(docs/PERFORMANCE.md)\n\n",
+                "(docs/PERFORMANCE.md)\n",
                 static_cast<unsigned long long>(steps), reps,
                 static_cast<unsigned long long>(shape.spanWords));
+    if (cluster.clustered()) {
+        std::printf("clustered: %u PEs/bus, %u-cycle hops "
+                    "(docs/ARCHITECTURE.md)\n",
+                    cluster.clusterSize, cluster.hopCycles);
+    }
+    std::printf("\n");
 
     BenchJson json(ctx, "perf");
 
@@ -370,14 +396,19 @@ perfMain(int argc, char** argv)
     double last_speedup = 0;
     for (std::uint32_t pes : pe_points) {
         const Measurement off = runWorkload(pes, steps, /*filter=*/false,
-                                            reps, /*seed=*/1, shape);
+                                            reps, /*seed=*/1, shape,
+                                            cluster);
         const Measurement on = runWorkload(pes, steps, /*filter=*/true,
-                                           reps, /*seed=*/1, shape);
+                                           reps, /*seed=*/1, shape,
+                                           cluster);
 
-        // Exactness gate: the filter must not change a single observable.
+        // Exactness gate: the filter must not change a single observable
+        // (cluster routing included — routes come from the directory,
+        // which is maintained identically in both modes).
         if (off.fingerprint != on.fingerprint ||
             off.makespan != on.makespan || off.busTrans != on.busTrans ||
-            off.protoHash != on.protoHash) {
+            off.protoHash != on.protoHash ||
+            off.interCluster != on.interCluster) {
             std::printf("FAIL: filter changed the run at %u PEs "
                         "(fingerprint %s vs %s, makespan %llu vs %llu, "
                         "bus %llu vs %llu, proto %s vs %s)\n",
@@ -419,6 +450,9 @@ perfMain(int argc, char** argv)
             json.set("bus_transactions", m.busTrans);
             json.set("fingerprint", hex(m.fingerprint));
             json.set("speedup_vs_unfiltered", filtered ? speedup : 1.0);
+            json.set("cluster_size", cluster.clusterSize);
+            json.set("hop_cycles", cluster.hopCycles);
+            json.set("inter_cluster_cycles", m.interCluster);
         }
     }
 
@@ -443,7 +477,7 @@ perfMain(int argc, char** argv)
         std::unique_ptr<AttributionEngine> attr;
         BusStats attr_stats;
         runWorkload(max_pes, steps, /*filter=*/true, /*reps=*/1,
-                    /*seed=*/1, shape, &attr, &attr_stats);
+                    /*seed=*/1, shape, cluster, &attr, &attr_stats);
         const std::string attr_error = attr->crossCheck(attr_stats);
         if (!attr_error.empty()) {
             std::printf("FAIL: attribution cross-check: %s\n",

@@ -55,6 +55,9 @@ usage()
         "  --no-audit          detach the coherence auditor\n"
         "  --no-snoop-filter   disable the exact bus-side snoop filter\n"
         "                      (identical outcomes; docs/PERFORMANCE.md)\n"
+        "  --cluster-size=N    PEs per snooping-bus cluster (0 = single\n"
+        "                      bus; docs/ARCHITECTURE.md)\n"
+        "  --hop-cycles=N      one-way inter-cluster hop cost (default 4)\n"
         "  --timeout=SECS      wall-clock budget; exceeding it is a\n"
         "                      detected Timeout fault (not in replay\n"
         "                      lines: wall-clock, not simulation state)\n"
@@ -73,6 +76,7 @@ const char* const kKnownFlags[] = {
     "no-audit",   "expect-fault",
     "replay",     "help",       "starvation-bound", "livelock-retries",
     "seeds",      "jobs",       "no-snoop-filter", "timeout",
+    "cluster-size", "hop-cycles",
 };
 
 /**
@@ -140,6 +144,10 @@ main(int argc, char** argv)
         config.attributionOut = opts.getString("attribution-out", "");
         config.audit = !opts.getBool("no-audit");
         config.snoopFilter = !opts.getBool("no-snoop-filter");
+        config.clusterSize =
+            static_cast<std::uint32_t>(opts.getInt("cluster-size", 0));
+        config.hopCycles =
+            static_cast<std::uint32_t>(opts.getInt("hop-cycles", 4));
         config.timeoutSeconds = opts.getDouble("timeout", 0);
         config.watchdog.starvationBound = static_cast<std::uint64_t>(
             opts.getInt("starvation-bound", 100000));

@@ -37,8 +37,10 @@ usage()
 {
     std::printf(
         "pim_sweep: parallel sweep over simulation parameter grids\n"
-        "  --spec=FILE|paper|smoke  sweep spec: a JSON file, the built-in\n"
-        "                      full paper grid, or the 4-point CI smoke\n"
+        "  --spec=FILE|paper|smoke|clusters  sweep spec: a JSON file,\n"
+        "                      the built-in full paper grid, the 4-point\n"
+        "                      CI smoke, or the 128-1024 PE clustered\n"
+        "                      scaling grid (docs/ARCHITECTURE.md)\n"
         "  --jobs=N            worker threads (default: hardware)\n"
         "  --out=DIR           write SWEEP.json, SWEEP.perf.json and\n"
         "                      BENCH_sweep_<id>.json here (created if\n"
@@ -99,6 +101,8 @@ loadSpec(const std::string& spec_arg)
         return SweepSpec::paperGrid();
     if (spec_arg == "smoke")
         return SweepSpec::smokeGrid();
+    if (spec_arg == "clusters")
+        return SweepSpec::clustersGrid();
     return SweepSpec::parseFile(spec_arg);
 }
 

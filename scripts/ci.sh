@@ -34,6 +34,23 @@ perf_smoke() {
     "${dir}/bench/json_check" --schema=perf "${dir}/BENCH_perf.json"
 }
 
+# Clustered-topology gate (docs/ARCHITECTURE.md): a deeper clustered
+# conformance fuzz than the ctest `cluster` label runs, plus the
+# 128-PE clustered perf smoke with its JSON schema check. Exercises
+# the inter-cluster directory, hop accounting and the exactness
+# invariants at a scale the unit tests keep short.
+cluster_smoke() {
+    local dir="build-release"
+    echo "=== cluster smoke (${dir}) ==="
+    "${dir}/bench/pim_conform" --fuzz --pes=8 --blocks=2 --sets=2 \
+        --seed=11 --traces=40 --len=200 --cluster-size=2
+    "${dir}/bench/pim_perf" --smoke --pes=128 --cluster-size=16 \
+        --hop-cycles=2 --json="${dir}/BENCH_perf_clustered.json"
+    "${dir}/bench/json_check" --schema=perf \
+        --require=rows.0.inter_cluster_cycles \
+        "${dir}/BENCH_perf_clustered.json"
+}
+
 # Short chaos soak campaign (docs/ROBUSTNESS.md): the smoke fault-plan
 # x seed grid must end with zero escaped injections, and CAMPAIGN.json
 # must satisfy the campaign schema.
@@ -82,11 +99,16 @@ if [ ${#legs[@]} -eq 0 ]; then
     legs=(release asan tsan coverage)
 fi
 
+# Documentation link check runs before any build: stale references in
+# README.md or docs/*.md fail CI immediately (scripts/check_docs.sh).
+scripts/check_docs.sh
+
 for leg in "${legs[@]}"; do
     case "${leg}" in
       release)
         run_leg release -DCMAKE_BUILD_TYPE=Release
         perf_smoke
+        cluster_smoke
         soak_smoke
         report_gate
         ;;

@@ -7,10 +7,12 @@
 
 namespace pim {
 
-Bus::Bus(const BusTiming& timing, PagedStore& memory)
-    : timing_(timing), memory_(memory)
+Bus::Bus(const BusTiming& timing, PagedStore& memory,
+         const ClusterConfig& cluster)
+    : timing_(timing), memory_(memory), clusters_(cluster)
 {
     residency_.setBlockWords(timing_.blockWords);
+    directory_.configure(cluster, timing_.blockWords);
     if (timing_.blockWords != 0 &&
         (timing_.blockWords & (timing_.blockWords - 1)) == 0) {
         blockShift_ = 0;
@@ -33,6 +35,7 @@ Bus::attach(PeId pe, BusSnooper* cache, LockSnooper* locks)
         portIndexByPe_.resize(pe + 1, -1);
     portIndexByPe_[pe] = static_cast<std::int32_t>(ports_.size() - 1);
     residency_.registerPe(pe);
+    clusters_.registerPe(pe);
 }
 
 void
@@ -41,23 +44,52 @@ Bus::setUnlockListener(UnlockListener* listener)
     unlockListener_ = listener;
 }
 
-namespace {
-
-/** Lowest set bit's index; the filtered walks' PE iteration order. */
-inline PeId
-lowestPe(std::uint64_t mask)
+Bus::Route
+Bus::routeFor(PeId requester, Addr block_addr, bool snoops_copies,
+              bool checks_locks) const
 {
-    return static_cast<PeId>(__builtin_ctzll(mask));
+    Route route;
+    if (!clusters_.enabled())
+        return route;
+    route.local = clusters_.clusterOf(requester);
+    std::uint64_t remote = 0;
+    if (snoops_copies)
+        remote |= directory_.copyClusters(block_addr);
+    if (checks_locks)
+        remote |= directory_.lockClusters(block_addr);
+    remote &= ~(1ull << route.local);
+    route.remote = remote;
+    // One round trip covers every remote cluster consulted: the
+    // crossbar multicasts the command and the routed buses snoop in
+    // parallel, mirroring the paper's fixed snoop cost on one bus.
+    // Memory is banked — every cluster bus fronts its own port into
+    // the shared-memory modules — so a miss whose copies and locks all
+    // sit in the requester's cluster (the common case: each PE's
+    // heap/goal areas are private until stolen) pays no hops at all.
+    // Only genuinely shared blocks cross, which is what lets clustered
+    // topologies keep scaling where the single bus saturates.
+    route.hop = remote != 0 ? 2 * clusters_.hopCycles() : 0;
+    return route;
 }
 
-/** Clear @p pe's bit (no-op when beyond the mask width). */
-inline std::uint64_t
-withoutPe(std::uint64_t mask, PeId pe)
+Cycles
+Bus::arbitrate(const Route& route, Cycles when) const
 {
-    return pe < ResidencyFilter::kMaxPes ? mask & ~(1ull << pe) : mask;
+    if (!clusters_.enabled())
+        return std::max(when, freeAt_);
+    return clusters_.arbitrate(route.local, route.remote, when);
 }
 
-} // namespace
+void
+Bus::release(const Route& route, Cycles until)
+{
+    if (clusters_.enabled())
+        clusters_.occupy(route.local, route.remote, until);
+    // freeAt_ remains the whole-system high-water mark; on the single
+    // bus it is the one shared resource itself.
+    if (until > freeAt_)
+        freeAt_ = until;
+}
 
 bool
 Bus::lockCheck(PeId requester, Addr block_addr, Cycles when)
@@ -66,15 +98,13 @@ Bus::lockCheck(PeId requester, Addr block_addr, Cycles when)
     if (filterActive()) {
         // Only directories with an entry in the block can answer LH or
         // need the LCK -> LWAIT transition; all others are no-ops.
-        std::uint64_t mask =
-            withoutPe(residency_.lockMask(block_addr), requester);
-        while (mask != 0) {
-            const Port* port = portOf(lowestPe(mask));
-            mask &= mask - 1;
-            if (port->locks->snoopLockCheck(block_addr,
-                                            timing_.blockWords, when))
-                lock_hit = true;
-        }
+        residency_.forEachLockHolder(
+            block_addr, requester, [&](PeId pe) {
+                const Port* port = portOf(pe);
+                if (port->locks->snoopLockCheck(block_addr,
+                                                timing_.blockWords, when))
+                    lock_hit = true;
+            });
         return lock_hit;
     }
     for (const Port& port : ports_) {
@@ -103,7 +133,11 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
 {
     PIM_ASSERT(block_addr % timing_.blockWords == 0,
                "fetch of unaligned block address");
-    const Cycles start = std::max(when, freeAt_);
+    // Route from the pre-transaction residency: remote copy and lock
+    // clusters must be consulted; memory (including a dirty victim's
+    // writeback) is reached through the local cluster's bank port.
+    const Route route = routeFor(requester, block_addr, true, true);
+    const Cycles start = arbitrate(route, when);
     FetchResult result;
 
     stats_.cmdCounts[static_cast<int>(invalidate ? BusCmd::FI : BusCmd::F)]
@@ -115,11 +149,15 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
     }
 
     if (lockCheck(requester, block_addr, start)) {
+        // The reject pays only the lock clusters' hops, but the whole
+        // reserved circuit stays held until the abort completes.
+        const Cycles hop =
+            routeFor(requester, block_addr, false, true).hop;
         const Cycles cost = timing_.lockRejectCycles();
-        stats_.account(BusPattern::LockReject, cost, area, requester);
-        freeAt_ = start + cost;
+        stats_.account(BusPattern::LockReject, cost, area, requester, hop);
+        release(route, start + cost + hop);
         result.lockHit = true;
-        result.completeAt = freeAt_;
+        result.completeAt = start + cost + hop;
         if (sink_ != nullptr) {
             BusTxnEvent event;
             event.requester = requester;
@@ -128,11 +166,12 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
             event.blockAddr = block_addr;
             event.requestedAt = when;
             event.startedAt = start;
-            event.completedAt = freeAt_;
+            event.completedAt = result.completeAt;
             event.cmd = invalidate ? BusCmd::FI : BusCmd::F;
             event.hasCmd = true;
             event.withLock = with_lock;
             event.lockHit = true;
+            event.interClusterCycles = hop;
             emitTxn(event);
         }
         return result;
@@ -152,24 +191,23 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
         // Only actual copy-holders are snooped (filter exactness: a PE
         // outside the mask would reply {absent} and change no state).
         // Bit order equals port order, so the same holder supplies.
-        std::uint64_t mask =
-            withoutPe(residency_.copyMask(block_addr), requester);
-        while (mask != 0) {
-            const Port* port = portOf(lowestPe(mask));
-            mask &= mask - 1;
-            if (!result.supplied) {
-                const BusSnooper::FetchReply reply = port->cache->snoopFetch(
-                    block_addr, invalidate, data_out, start);
-                if (reply.present) {
-                    result.supplied = true;
-                    result.supplierDirty = reply.dirty;
+        residency_.forEachCopyHolder(
+            block_addr, requester, [&](PeId pe) {
+                const Port* port = portOf(pe);
+                if (!result.supplied) {
+                    const BusSnooper::FetchReply reply =
+                        port->cache->snoopFetch(block_addr, invalidate,
+                                                data_out, start);
+                    if (reply.present) {
+                        result.supplied = true;
+                        result.supplierDirty = reply.dirty;
+                    }
+                } else if (invalidate) {
+                    if (port->cache->snoopInvalidate(block_addr, start))
+                        result.supplierDirty = true;
                 }
-            } else if (invalidate) {
-                if (port->cache->snoopInvalidate(block_addr, start))
-                    result.supplierDirty = true;
-            }
-            // For plain F, non-supplier sharers keep their copies.
-        }
+                // For plain F, non-supplier sharers keep their copies.
+            });
     } else {
         for (const Port& port : ports_) {
             if (port.pe == requester || port.cache == nullptr)
@@ -222,12 +260,12 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
                                : BusPattern::MemFetch;
         cost = timing_.swapInCycles(dirty_victim);
     }
-    stats_.account(pattern, cost, area, requester);
+    stats_.account(pattern, cost, area, requester, route.hop);
     // Injected fault: one bit of the transferred block flips on the bus.
     if (injector_ != nullptr && injector_->fire(FaultSite::CorruptWord))
         injector_->flipBit(data_out, timing_.blockWords);
-    freeAt_ = start + cost;
-    result.completeAt = freeAt_;
+    release(route, start + cost + route.hop);
+    result.completeAt = start + cost + route.hop;
     if (sink_ != nullptr) {
         BusTxnEvent event;
         event.requester = requester;
@@ -236,7 +274,7 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
         event.blockAddr = block_addr;
         event.requestedAt = when;
         event.startedAt = start;
-        event.completedAt = freeAt_;
+        event.completedAt = result.completeAt;
         event.cmd = invalidate ? BusCmd::FI : BusCmd::F;
         event.hasCmd = true;
         event.withLock = with_lock;
@@ -245,6 +283,7 @@ Bus::fetch(PeId requester, Addr block_addr, bool invalidate, bool with_lock,
         event.dataBeats =
             timing_.blockTransferCycles() +
             (dirty_victim ? timing_.blockTransferCycles() : 0);
+        event.interClusterCycles = route.hop;
         emitTxn(event);
     }
     return result;
@@ -256,7 +295,9 @@ Bus::invalidate(PeId requester, Addr block_addr, bool with_lock,
 {
     PIM_ASSERT(block_addr % timing_.blockWords == 0,
                "invalidate of unaligned block address");
-    const Cycles start = std::max(when, freeAt_);
+    const Route route =
+        routeFor(requester, block_addr, true, with_lock);
+    const Cycles start = arbitrate(route, when);
     InvalidateResult result;
 
     stats_.cmdCounts[static_cast<int>(BusCmd::I)] += 1;
@@ -266,11 +307,14 @@ Bus::invalidate(PeId requester, Addr block_addr, bool with_lock,
         // Only lock-carrying invalidations are answered by LH (the plain
         // I command is not in the paper's LH response list).
         if (lockCheck(requester, block_addr, start)) {
+            const Cycles hop =
+                routeFor(requester, block_addr, false, true).hop;
             const Cycles cost = timing_.lockRejectCycles();
-            stats_.account(BusPattern::LockReject, cost, area, requester);
-            freeAt_ = start + cost;
+            stats_.account(BusPattern::LockReject, cost, area, requester,
+                           hop);
+            release(route, start + cost + hop);
             result.lockHit = true;
-            result.completeAt = freeAt_;
+            result.completeAt = start + cost + hop;
             if (sink_ != nullptr) {
                 BusTxnEvent event;
                 event.requester = requester;
@@ -279,11 +323,12 @@ Bus::invalidate(PeId requester, Addr block_addr, bool with_lock,
                 event.blockAddr = block_addr;
                 event.requestedAt = when;
                 event.startedAt = start;
-                event.completedAt = freeAt_;
+                event.completedAt = result.completeAt;
                 event.cmd = BusCmd::I;
                 event.hasCmd = true;
                 event.withLock = true;
                 event.lockHit = true;
+                event.interClusterCycles = hop;
                 emitTxn(event);
             }
             return result;
@@ -291,14 +336,12 @@ Bus::invalidate(PeId requester, Addr block_addr, bool with_lock,
     }
 
     if (filterActive()) {
-        std::uint64_t mask =
-            withoutPe(residency_.copyMask(block_addr), requester);
-        while (mask != 0) {
-            const Port* port = portOf(lowestPe(mask));
-            mask &= mask - 1;
-            if (port->cache->snoopInvalidate(block_addr, start))
-                result.droppedDirty = true;
-        }
+        residency_.forEachCopyHolder(
+            block_addr, requester, [&](PeId pe) {
+                const Port* port = portOf(pe);
+                if (port->cache->snoopInvalidate(block_addr, start))
+                    result.droppedDirty = true;
+            });
     } else {
         for (const Port& port : ports_) {
             if (port.pe == requester || port.cache == nullptr)
@@ -308,9 +351,10 @@ Bus::invalidate(PeId requester, Addr block_addr, bool with_lock,
         }
     }
     const Cycles cost = timing_.invalidateCycles();
-    stats_.account(BusPattern::Invalidate, cost, area, requester);
-    freeAt_ = start + cost;
-    result.completeAt = freeAt_;
+    stats_.account(BusPattern::Invalidate, cost, area, requester,
+                   route.hop);
+    release(route, start + cost + route.hop);
+    result.completeAt = start + cost + route.hop;
     if (sink_ != nullptr) {
         BusTxnEvent event;
         event.requester = requester;
@@ -319,11 +363,12 @@ Bus::invalidate(PeId requester, Addr block_addr, bool with_lock,
         event.blockAddr = block_addr;
         event.requestedAt = when;
         event.startedAt = start;
-        event.completedAt = freeAt_;
+        event.completedAt = result.completeAt;
         event.cmd = BusCmd::I;
         event.hasCmd = true;
         event.withLock = with_lock;
         event.supplierDirty = result.droppedDirty;
+        event.interClusterCycles = route.hop;
         emitTxn(event);
     }
     return result;
@@ -379,11 +424,15 @@ Cycles
 Bus::swapOutOnly(PeId requester, Addr victim_addr, const Word* data,
                  Cycles when, Area area)
 {
-    const Cycles start = std::max(when, freeAt_);
+    // Pure memory crossing: no cluster is snooped.
+    const Route route = routeFor(requester, victim_addr, false, false);
+    const Cycles start = arbitrate(route, when);
     writeBackData(victim_addr, data);
     const Cycles cost = timing_.swapOutOnlyCycles();
-    stats_.account(BusPattern::SwapOutOnly, cost, area, requester);
-    freeAt_ = start + cost;
+    stats_.account(BusPattern::SwapOutOnly, cost, area, requester,
+                   route.hop);
+    release(route, start + cost + route.hop);
+    const Cycles complete = start + cost + route.hop;
     if (sink_ != nullptr) {
         BusTxnEvent event;
         event.requester = requester;
@@ -392,21 +441,31 @@ Bus::swapOutOnly(PeId requester, Addr victim_addr, const Word* data,
         event.blockAddr = victim_addr;
         event.requestedAt = when;
         event.startedAt = start;
-        event.completedAt = freeAt_;
+        event.completedAt = complete;
         event.dataBeats = timing_.blockTransferCycles();
+        event.interClusterCycles = route.hop;
         emitTxn(event);
     }
-    return freeAt_;
+    return complete;
 }
 
 Cycles
 Bus::unlockBroadcast(PeId requester, Addr word_addr, Cycles when, Area area)
 {
-    const Cycles start = std::max(when, freeAt_);
+    // UL floods every cluster: parked PEs anywhere may be waiting on the
+    // word. One-way hop cost — no replies are collected.
+    Route route;
+    if (clusters_.enabled()) {
+        route.local = clusters_.clusterOf(requester);
+        route.remote = clusters_.allRemote(route.local);
+        route.hop = clusters_.hopCycles();
+    }
+    const Cycles start = arbitrate(route, when);
     stats_.cmdCounts[static_cast<int>(BusCmd::UL)] += 1;
     const Cycles cost = timing_.unlockCycles();
-    stats_.account(BusPattern::Unlock, cost, area, requester);
-    freeAt_ = start + cost;
+    stats_.account(BusPattern::Unlock, cost, area, requester, route.hop);
+    release(route, start + cost + route.hop);
+    const Cycles complete = start + cost + route.hop;
     if (sink_ != nullptr) {
         BusTxnEvent event;
         event.requester = requester;
@@ -415,34 +474,34 @@ Bus::unlockBroadcast(PeId requester, Addr word_addr, Cycles when, Area area)
         event.blockAddr = word_addr;
         event.requestedAt = when;
         event.startedAt = start;
-        event.completedAt = freeAt_;
+        event.completedAt = complete;
         event.cmd = BusCmd::UL;
         event.hasCmd = true;
+        event.interClusterCycles = route.hop;
         emitTxn(event);
     }
     if (unlockListener_ != nullptr)
-        unlockListener_->onUnlockBroadcast(word_addr, freeAt_);
-    return freeAt_;
+        unlockListener_->onUnlockBroadcast(word_addr, complete);
+    return complete;
 }
 
 Cycles
 Bus::writeWordThrough(PeId requester, Addr word_addr, Word value,
                       Cycles when, Area area)
 {
-    const Cycles start = std::max(when, freeAt_);
     const Addr block_addr = word_addr - word_addr % timing_.blockWords;
+    // Copy clusters are invalidated and the word crosses to memory.
+    const Route route = routeFor(requester, block_addr, true, false);
+    const Cycles start = arbitrate(route, when);
     memory_.write(word_addr, value);
     setPurgeMark(block_addr, false);
     stats_.memoryBusyCycles += timing_.memAccessCycles;
     stats_.memoryWrites += 1;
     if (filterActive()) {
-        std::uint64_t mask =
-            withoutPe(residency_.copyMask(block_addr), requester);
-        while (mask != 0) {
-            const Port* port = portOf(lowestPe(mask));
-            mask &= mask - 1;
-            port->cache->snoopInvalidate(block_addr, start);
-        }
+        residency_.forEachCopyHolder(
+            block_addr, requester, [&](PeId pe) {
+                portOf(pe)->cache->snoopInvalidate(block_addr, start);
+            });
     } else {
         for (const Port& port : ports_) {
             if (port.pe == requester || port.cache == nullptr)
@@ -451,8 +510,9 @@ Bus::writeWordThrough(PeId requester, Addr word_addr, Word value,
         }
     }
     const Cycles cost = timing_.wordWriteCycles();
-    stats_.account(BusPattern::WordWrite, cost, area, requester);
-    freeAt_ = start + cost;
+    stats_.account(BusPattern::WordWrite, cost, area, requester, route.hop);
+    release(route, start + cost + route.hop);
+    const Cycles complete = start + cost + route.hop;
     if (sink_ != nullptr) {
         BusTxnEvent event;
         event.requester = requester;
@@ -461,11 +521,12 @@ Bus::writeWordThrough(PeId requester, Addr word_addr, Word value,
         event.blockAddr = block_addr;
         event.requestedAt = when;
         event.startedAt = start;
-        event.completedAt = freeAt_;
+        event.completedAt = complete;
         event.dataBeats = 1;
+        event.interClusterCycles = route.hop;
         emitTxn(event);
     }
-    return freeAt_;
+    return complete;
 }
 
 void

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "bus/cluster_bus.h"
+#include "bus/intercluster_directory.h"
 #include "bus/residency_filter.h"
 #include "bus/timing.h"
 #include "common/types.h"
@@ -106,16 +108,30 @@ struct BusStats {
      * write-once/read-once contract and read stale data.
      */
     std::uint64_t staleFetches = 0;
+    /**
+     * Interconnect hop cycles on the clustered topology
+     * (docs/ARCHITECTURE.md): charged on top of the pattern's fixed
+     * cost, so cyclesByPattern keeps its transactions-times-cost
+     * invariant and totalCycles = sum(cyclesByPattern) +
+     * interClusterCycles. Always zero on a single bus.
+     */
+    Cycles interClusterCycles = 0;
+    /** Transactions whose route crossed the interconnect. */
+    std::uint64_t interClusterHops = 0;
 
     void
-    account(BusPattern pattern, Cycles cycles, Area area, PeId pe)
+    account(BusPattern pattern, Cycles cycles, Area area, PeId pe,
+            Cycles hop_cycles = 0)
     {
         cyclesByPattern[static_cast<int>(pattern)] += cycles;
         transByPattern[static_cast<int>(pattern)] += 1;
-        cyclesByArea[static_cast<int>(area)] += cycles;
+        cyclesByArea[static_cast<int>(area)] += cycles + hop_cycles;
         if (pe < 64)
-            cyclesByPe[pe] += cycles;
-        totalCycles += cycles;
+            cyclesByPe[pe] += cycles + hop_cycles;
+        totalCycles += cycles + hop_cycles;
+        interClusterCycles += hop_cycles;
+        if (hop_cycles != 0)
+            interClusterHops += 1;
     }
 
     void clear() { *this = BusStats{}; }
@@ -144,11 +160,19 @@ struct InvalidateResult {
  * Single-owner resource: a transaction requested at time T starts at
  * max(T, freeAt) and holds the bus for its full pattern cost (paper
  * assumption 3: the bus is not freed until the operation completes).
+ *
+ * On a clustered topology (ClusterConfig.clusterSize > 0 with 2+
+ * clusters) the single resource splits into per-cluster buses joined by
+ * a contention-free crossbar (ClusterTopology); a transaction reserves
+ * only the buses on its route — directed by the InterClusterDirectory —
+ * and pays the route's hop cycles on top of its pattern cost. Snoop
+ * semantics are identical on every topology.
  */
 class Bus
 {
   public:
-    Bus(const BusTiming& timing, PagedStore& memory);
+    Bus(const BusTiming& timing, PagedStore& memory,
+        const ClusterConfig& cluster = ClusterConfig{});
 
     /**
      * Attach one PE's cache and lock directory snoopers. Each PE may be
@@ -278,6 +302,7 @@ class Bus
     noteBlockPresent(PeId pe, Addr block_addr)
     {
         residency_.addCopy(pe, block_addr);
+        directory_.noteCopy(pe, block_addr, true, residency_);
     }
 
     /** @p pe's cache dropped its copy of @p block_addr. */
@@ -285,6 +310,7 @@ class Bus
     noteBlockAbsent(PeId pe, Addr block_addr)
     {
         residency_.removeCopy(pe, block_addr);
+        directory_.noteCopy(pe, block_addr, false, residency_);
     }
 
     /** @p pe's lock directory residency in @p block_addr changed. */
@@ -292,9 +318,16 @@ class Bus
     noteLockResidency(PeId pe, Addr block_addr, bool resident)
     {
         residency_.setLockResident(pe, block_addr, resident);
+        directory_.noteLock(pe, block_addr, resident, residency_);
     }
 
     const ResidencyFilter& residency() const { return residency_; }
+
+    /** The per-block cluster-residency sets (clustered topology). */
+    const InterClusterDirectory& directory() const { return directory_; }
+
+    /** The cluster partition and per-cluster bus occupancy. */
+    const ClusterTopology& clusters() const { return clusters_; }
 
     const BusTiming& timing() const { return timing_; }
     BusStats& stats() { return stats_; }
@@ -308,6 +341,35 @@ class Bus
         BusSnooper* cache = nullptr;
         LockSnooper* locks = nullptr;
     };
+
+    /**
+     * The cluster resources a transaction reserves and the hop cycles
+     * it pays. Trivial (hop 0, nothing reserved beyond the legacy
+     * freeAt_) on the single-bus topology.
+     */
+    struct Route {
+        std::uint32_t local = 0;    ///< Requester's cluster.
+        std::uint64_t remote = 0;   ///< Remote clusters consulted.
+        Cycles hop = 0;             ///< Interconnect cycles charged.
+    };
+
+    /**
+     * Route for an F/FI/I/LK transaction on @p block_addr, from the
+     * pre-transaction directory state: the remote clusters holding
+     * copies (@p snoops_copies) and/or locks (@p checks_locks). Memory
+     * is banked per cluster (each cluster bus has its own port into the
+     * shared-memory modules), so memory crossings never ride the
+     * interconnect. Computed before any snoop runs, so the reservation
+     * is independent of snoop outcomes.
+     */
+    Route routeFor(PeId requester, Addr block_addr, bool snoops_copies,
+                   bool checks_locks) const;
+
+    /** Earliest start of a transaction over @p route. */
+    Cycles arbitrate(const Route& route, Cycles when) const;
+
+    /** Hold @p route's resources until @p until. */
+    void release(const Route& route, Cycles until);
 
     /** LH check across all directories except the requester's. */
     bool lockCheck(PeId requester, Addr block_addr, Cycles when);
@@ -352,6 +414,8 @@ class Bus
     std::vector<Port> ports_;
     std::vector<std::int32_t> portIndexByPe_; ///< PE id -> ports_ index.
     ResidencyFilter residency_;
+    ClusterTopology clusters_;
+    InterClusterDirectory directory_;
     bool filterEnabled_ = true;
     UnlockListener* unlockListener_ = nullptr;
     FaultInjector* injector_ = nullptr;

@@ -1,0 +1,91 @@
+#include "bus/intercluster_directory.h"
+
+namespace pim {
+
+std::uint64_t*
+InterClusterDirectory::entry(std::size_t index)
+{
+    const std::size_t page = index / kPageBlocks;
+    if (page >= pages_.size())
+        pages_.resize(page + 1);
+    if (pages_[page] == nullptr) {
+        pages_[page] = std::make_unique<std::uint64_t[]>(kPageBlocks * 2);
+        for (std::size_t i = 0; i < kPageBlocks * 2; ++i)
+            pages_[page][i] = 0;
+    }
+    return &pages_[page][(index % kPageBlocks) * 2];
+}
+
+const std::uint64_t*
+InterClusterDirectory::entryIfPresent(std::size_t index) const
+{
+    const std::size_t page = index / kPageBlocks;
+    if (page >= pages_.size() || pages_[page] == nullptr)
+        return nullptr;
+    return &pages_[page][(index % kPageBlocks) * 2];
+}
+
+void
+InterClusterDirectory::noteCopy(PeId pe, Addr block, bool present,
+                                const ResidencyFilter& filter)
+{
+    if (!tracking())
+        return;
+    const std::uint32_t cluster = config_.clusterOf(pe);
+    const std::uint64_t bit = 1ull << cluster;
+    if (present) {
+        entry(indexOf(block))[0] |= bit;
+        return;
+    }
+    std::uint64_t* words =
+        const_cast<std::uint64_t*>(entryIfPresent(indexOf(block)));
+    if (words == nullptr || (words[0] & bit) == 0)
+        return;
+    // Last-copy check: the filter was already updated for this removal,
+    // so an empty cluster range means the cluster left the sharer set.
+    PeId lo = 0;
+    PeId hi = 0;
+    clusterRange(cluster, &lo, &hi);
+    if (!filter.anyCopyInRange(block, lo, hi))
+        words[0] &= ~bit;
+}
+
+void
+InterClusterDirectory::noteLock(PeId pe, Addr block, bool resident,
+                                const ResidencyFilter& filter)
+{
+    if (!tracking())
+        return;
+    const std::uint32_t cluster = config_.clusterOf(pe);
+    const std::uint64_t bit = 1ull << cluster;
+    if (resident) {
+        entry(indexOf(block))[1] |= bit;
+        return;
+    }
+    std::uint64_t* words =
+        const_cast<std::uint64_t*>(entryIfPresent(indexOf(block)));
+    if (words == nullptr || (words[1] & bit) == 0)
+        return;
+    PeId lo = 0;
+    PeId hi = 0;
+    clusterRange(cluster, &lo, &hi);
+    if (!filter.anyLockInRange(block, lo, hi))
+        words[1] &= ~bit;
+}
+
+std::size_t
+InterClusterDirectory::trackedBlocks() const
+{
+    std::size_t count = 0;
+    for (const auto& page : pages_) {
+        if (page == nullptr)
+            continue;
+        for (std::size_t i = 0; i < kPageBlocks; ++i) {
+            if (page[i * 2] != 0 || page[i * 2 + 1] != 0)
+                count += 1;
+        }
+    }
+    return count;
+}
+
+} // namespace pim

@@ -1,6 +1,7 @@
 /**
  * @file
- * Exact bus-side residency filter (docs/PERFORMANCE.md).
+ * Exact bus-side residency filter (docs/PERFORMANCE.md,
+ * docs/ARCHITECTURE.md).
  *
  * Tracks, per cache block, (a) the set of PEs whose cache holds a valid
  * copy and (b) the set of PEs whose lock directory has an entry (or an
@@ -18,14 +19,19 @@
  * unchanged — which the conformance engine (src/model) verifies by
  * fuzzing with the filter on and off.
  *
- * The masks live in dense arrays indexed by block number (the filter
- * maintenance rides on every fill and eviction, so it must be a couple
- * of loads, not a hash probe). Pages of the array materialize as the
- * address space is touched, like PagedStore.
+ * Masks are multi-word PE bitsets: an entry is ceil(P/64) consecutive
+ * 64-bit words, so the filter is exact at *any* PE count — there is no
+ * 64-PE ceiling and no broadcast fallback for wide machines. With 64 or
+ * fewer PEs an entry is a single word and the maintenance/query cost is
+ * identical to the single-word design this replaces. The per-block
+ * cluster summaries the inter-cluster directory keeps
+ * (src/bus/intercluster_directory.h) are derived from these masks.
  *
- * PEs are tracked as bits of a 64-bit mask. A system with more than 64
- * PEs degrades gracefully: the filter marks itself inexact and the bus
- * falls back to the full broadcast scan.
+ * Entries live in pages allocated on first touch (the PagedStore idiom):
+ * a lookup is one shift, one page-pointer load and one indexed load, and
+ * a 1024-PE machine with a sparse multi-gigaword address space costs
+ * memory proportional to the blocks it actually caches, not to its
+ * address-space size.
  */
 
 #ifndef PIMCACHE_BUS_RESIDENCY_FILTER_H_
@@ -33,9 +39,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/pe_bitset.h"
 #include "common/types.h"
+#include "common/xassert.h"
 
 namespace pim {
 
@@ -43,8 +52,15 @@ namespace pim {
 class ResidencyFilter
 {
   public:
-    /** Widest PE set a mask can represent. */
-    static constexpr std::uint32_t kMaxPes = 64;
+    /** Block entries per storage page (entry = maskWords() words). */
+    static constexpr std::size_t kPageBlocks = 1024;
+
+    /**
+     * Widest supported mask in words; bounds the stack buffers the bus
+     * walks copy entries into (64 words = 4096 PEs, far past the
+     * clustered design space).
+     */
+    static constexpr std::uint32_t kMaxMaskWords = 64;
 
     /**
      * Set the block size the bus dispatches at; block addresses passed
@@ -64,19 +80,32 @@ class ResidencyFilter
     }
 
     /**
-     * Note that @p pe participates in the system. A PE beyond the mask
-     * width makes the filter inexact (the bus then broadcasts).
+     * Note that @p pe participates in the system, growing the per-block
+     * entry to cover it. Registration happens at attach time — before
+     * any traffic — but growth re-lays existing pages out correctly
+     * regardless.
      */
     void
     registerPe(PeId pe)
     {
-        if (pe >= kMaxPes)
-            exact_ = false;
+        const std::uint32_t needed = (pe >> 6) + 1;
+        PIM_ASSERT(needed <= kMaxMaskWords, "pe", pe,
+                   " exceeds the residency filter's ", kMaxMaskWords * 64,
+                   "-PE mask limit");
+        if (needed > maskWords_) {
+            regrow(copies_, needed);
+            regrow(locks_, needed);
+            maskWords_ = needed;
+        }
     }
 
+    /** Mask words per block entry (1 for machines of up to 64 PEs). */
+    std::uint32_t maskWords() const { return maskWords_; }
+
     /**
-     * True while every residency change has been representable. The bus
-     * consults masks only while exact.
+     * True while the filtered walk's ascending-PE order matches the
+     * bus's port order. The bus consults masks only while exact; mask
+     * *contents* are exact regardless.
      */
     bool exact() const { return exact_; }
 
@@ -90,22 +119,16 @@ class ResidencyFilter
     void
     addCopy(PeId pe, Addr block)
     {
-        if (pe >= kMaxPes) {
-            exact_ = false;
-            return;
-        }
-        slot(copies_, indexOf(block)) |= bit(pe);
+        entry(copies_, indexOf(block))[pe >> 6] |= bit(pe);
     }
 
     /** @p pe's cache no longer holds @p block. */
     void
     removeCopy(PeId pe, Addr block)
     {
-        if (pe >= kMaxPes)
-            return;
-        const std::size_t index = indexOf(block);
-        if (index < copies_.size())
-            copies_[index] &= ~bit(pe);
+        std::uint64_t* words = entryIfPresent(copies_, indexOf(block));
+        if (words != nullptr)
+            words[pe >> 6] &= ~bit(pe);
     }
 
     /**
@@ -116,33 +139,98 @@ class ResidencyFilter
     void
     setLockResident(PeId pe, Addr block, bool resident)
     {
-        if (pe >= kMaxPes) {
-            if (resident)
-                exact_ = false;
-            return;
-        }
-        const std::size_t index = indexOf(block);
         if (resident) {
-            slot(locks_, index) |= bit(pe);
-        } else if (index < locks_.size()) {
-            locks_[index] &= ~bit(pe);
+            entry(locks_, indexOf(block))[pe >> 6] |= bit(pe);
+        } else {
+            std::uint64_t* words = entryIfPresent(locks_, indexOf(block));
+            if (words != nullptr)
+                words[pe >> 6] &= ~bit(pe);
         }
     }
 
-    /** PEs holding a valid copy of @p block (bit i = PE i). */
-    std::uint64_t
+    /** PEs holding a valid copy of @p block. */
+    PeBitset
     copyMask(Addr block) const
     {
-        const std::size_t index = indexOf(block);
-        return index < copies_.size() ? copies_[index] : 0;
+        return maskOf(copies_, block);
     }
 
     /** PEs with a lock entry or ghost on a word of @p block. */
-    std::uint64_t
+    PeBitset
     lockMask(Addr block) const
     {
-        const std::size_t index = indexOf(block);
-        return index < locks_.size() ? locks_[index] : 0;
+        return maskOf(locks_, block);
+    }
+
+    /** Raw copy-mask word @p word of @p block (bus hot path). */
+    std::uint64_t
+    copyWord(Addr block, std::uint32_t word) const
+    {
+        const std::uint64_t* words =
+            entryIfPresent(copies_, indexOf(block));
+        return words != nullptr ? words[word] : 0;
+    }
+
+    /** Raw lock-mask word @p word of @p block (bus hot path). */
+    std::uint64_t
+    lockWord(Addr block, std::uint32_t word) const
+    {
+        const std::uint64_t* words = entryIfPresent(locks_, indexOf(block));
+        return words != nullptr ? words[word] : 0;
+    }
+
+    /** True if any PE other than @p except holds a copy of @p block. */
+    bool
+    anyCopyExcept(Addr block, PeId except) const
+    {
+        const std::uint64_t* words =
+            entryIfPresent(copies_, indexOf(block));
+        if (words == nullptr)
+            return false;
+        for (std::uint32_t w = 0; w < maskWords_; ++w) {
+            std::uint64_t mask = words[w];
+            if (w == (except >> 6))
+                mask &= ~bit(except);
+            if (mask != 0)
+                return true;
+        }
+        return false;
+    }
+
+    /** True if any PE in [@p lo, @p hi) holds a copy of @p block. */
+    bool
+    anyCopyInRange(Addr block, PeId lo, PeId hi) const
+    {
+        return anyInRange(copies_, block, lo, hi);
+    }
+
+    /** True if any PE in [@p lo, @p hi) has lock residency in @p block. */
+    bool
+    anyLockInRange(Addr block, PeId lo, PeId hi) const
+    {
+        return anyInRange(locks_, block, lo, hi);
+    }
+
+    /**
+     * Call @p fn(PeId) for every copy holder of @p block except
+     * @p skip, in ascending PE order. The entry is copied out first, so
+     * @p fn may change residency (an FI snoop drops the snooped copy)
+     * without perturbing the walk — exactly the snapshot semantics of
+     * the broadcast scan it replaces.
+     */
+    template <typename Fn>
+    void
+    forEachCopyHolder(Addr block, PeId skip, Fn&& fn) const
+    {
+        walk(copies_, block, skip, fn);
+    }
+
+    /** forEachCopyHolder, over the lock-residency masks. */
+    template <typename Fn>
+    void
+    forEachLockHolder(Addr block, PeId skip, Fn&& fn) const
+    {
+        walk(locks_, block, skip, fn);
     }
 
     /** Blocks with at least one cached copy (introspection). */
@@ -152,7 +240,12 @@ class ResidencyFilter
     std::size_t trackedLockBlocks() const { return nonZero(locks_); }
 
   private:
-    static std::uint64_t bit(PeId pe) { return 1ull << pe; }
+    /** Pages of kPageBlocks entries, maskWords_ words each. */
+    struct MaskStore {
+        std::vector<std::unique_ptr<std::uint64_t[]>> pages;
+    };
+
+    static std::uint64_t bit(PeId pe) { return 1ull << (pe & 63); }
 
     std::size_t
     indexOf(Addr block) const
@@ -161,33 +254,145 @@ class ResidencyFilter
             shift_ >= 0 ? block >> shift_ : block / blockWords_);
     }
 
-    /** The mask cell for @p index, growing the array on first touch. */
-    static std::uint64_t&
-    slot(std::vector<std::uint64_t>& masks, std::size_t index)
+    /** Entry for @p index, materializing its page on first touch. */
+    std::uint64_t*
+    entry(MaskStore& store, std::size_t index)
     {
-        if (index >= masks.size()) {
-            std::size_t size = masks.empty() ? 1024 : masks.size();
-            while (size <= index)
-                size *= 2;
-            masks.resize(size, 0);
+        const std::size_t page = index / kPageBlocks;
+        if (page >= store.pages.size())
+            store.pages.resize(page + 1);
+        if (store.pages[page] == nullptr) {
+            store.pages[page] = std::make_unique<std::uint64_t[]>(
+                kPageBlocks * maskWords_);
+            for (std::size_t i = 0; i < kPageBlocks * maskWords_; ++i)
+                store.pages[page][i] = 0;
         }
-        return masks[index];
+        return &store.pages[page][(index % kPageBlocks) * maskWords_];
     }
 
-    static std::size_t
-    nonZero(const std::vector<std::uint64_t>& masks)
+    /** Entry for @p index, or nullptr when its page never materialized. */
+    const std::uint64_t*
+    entryIfPresent(const MaskStore& store, std::size_t index) const
+    {
+        const std::size_t page = index / kPageBlocks;
+        if (page >= store.pages.size() || store.pages[page] == nullptr)
+            return nullptr;
+        return &store.pages[page][(index % kPageBlocks) * maskWords_];
+    }
+
+    std::uint64_t*
+    entryIfPresent(MaskStore& store, std::size_t index)
+    {
+        return const_cast<std::uint64_t*>(
+            static_cast<const ResidencyFilter*>(this)->entryIfPresent(
+                store, index));
+    }
+
+    PeBitset
+    maskOf(const MaskStore& store, Addr block) const
+    {
+        const std::uint64_t* words = entryIfPresent(store, indexOf(block));
+        if (words == nullptr)
+            return PeBitset(maskWords_);
+        return PeBitset::fromWords(words, maskWords_);
+    }
+
+    bool
+    anyInRange(const MaskStore& store, Addr block, PeId lo, PeId hi) const
+    {
+        const std::uint64_t* words = entryIfPresent(store, indexOf(block));
+        if (words == nullptr || lo >= hi)
+            return false;
+        const std::uint32_t lo_word = lo >> 6;
+        const std::uint32_t hi_word = (hi - 1) >> 6;
+        for (std::uint32_t w = lo_word;
+             w <= hi_word && w < maskWords_; ++w) {
+            std::uint64_t mask = words[w];
+            if (w == lo_word)
+                mask &= ~0ull << (lo & 63);
+            if (w == hi_word && (hi & 63) != 0)
+                mask &= (1ull << (hi & 63)) - 1;
+            if (mask != 0)
+                return true;
+        }
+        return false;
+    }
+
+    template <typename Fn>
+    void
+    walk(const MaskStore& store, Addr block, PeId skip, Fn&& fn) const
+    {
+        const std::uint64_t* words = entryIfPresent(store, indexOf(block));
+        if (words == nullptr)
+            return;
+        // Snapshot the entry so fn's residency updates cannot shift the
+        // walk (the single-word design got this for free by copying the
+        // mask into a register).
+        std::uint64_t local[kMaxMaskWords];
+        for (std::uint32_t w = 0; w < maskWords_; ++w)
+            local[w] = words[w];
+        if ((skip >> 6) < maskWords_)
+            local[skip >> 6] &= ~bit(skip);
+        for (std::uint32_t w = 0; w < maskWords_; ++w) {
+            std::uint64_t mask = local[w];
+            while (mask != 0) {
+                fn(static_cast<PeId>((static_cast<std::uint64_t>(w) << 6) +
+                                     __builtin_ctzll(mask)));
+                mask &= mask - 1;
+            }
+        }
+    }
+
+    std::size_t
+    nonZero(const MaskStore& store) const
     {
         std::size_t count = 0;
-        for (std::uint64_t mask : masks)
-            count += mask != 0 ? 1 : 0;
+        for (const auto& page : store.pages) {
+            if (page == nullptr)
+                continue;
+            for (std::size_t i = 0; i < kPageBlocks; ++i) {
+                for (std::uint32_t w = 0; w < maskWords_; ++w) {
+                    if (page[i * maskWords_ + w] != 0) {
+                        count += 1;
+                        break;
+                    }
+                }
+            }
+        }
         return count;
+    }
+
+    /** Re-lay @p store out for @p new_words-wide entries. */
+    void
+    regrow(MaskStore& store, std::uint32_t new_words)
+    {
+        if (store.pages.empty() || new_words == maskWords_)
+            return;
+        MaskStore wider;
+        wider.pages.resize(store.pages.size());
+        for (std::size_t p = 0; p < store.pages.size(); ++p) {
+            if (store.pages[p] == nullptr)
+                continue;
+            wider.pages[p] = std::make_unique<std::uint64_t[]>(
+                kPageBlocks * new_words);
+            for (std::size_t i = 0; i < kPageBlocks * new_words; ++i)
+                wider.pages[p][i] = 0;
+            for (std::size_t i = 0; i < kPageBlocks; ++i) {
+                for (std::uint32_t w = 0; w < maskWords_; ++w) {
+                    wider.pages[p][i * new_words + w] =
+                        store.pages[p][i * maskWords_ + w];
+                }
+            }
+        }
+        store.pages = std::move(wider.pages);
     }
 
     bool exact_ = true;
     std::uint32_t blockWords_ = 1;
+    std::uint32_t maskWords_ = 1; ///< ceil(maxPe+1 / 64), grown by registerPe.
     int shift_ = 0; ///< log2(blockWords_) when a power of two, else -1.
-    std::vector<std::uint64_t> copies_; ///< Block index -> PE copy mask.
-    std::vector<std::uint64_t> locks_;  ///< Block index -> lock mask.
+    MaskStore copies_; ///< Block index -> PE copy mask entry.
+    MaskStore locks_;  ///< Block index -> lock-residency mask entry.
 };
 
 } // namespace pim

@@ -28,6 +28,7 @@ systemFor(const Kl1Config& config, const Layout& layout)
     sys.cache = config.cache;
     sys.timing = config.timing;
     sys.policy = config.policy;
+    sys.cluster = config.cluster;
     // Cover every layout area, rounded up to whole cache blocks (the
     // max() guards the division; validate() rejects blockWords == 0).
     const std::uint64_t block =

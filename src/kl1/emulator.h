@@ -32,6 +32,8 @@ struct Kl1Config {
     CacheConfig cache;              ///< Paper base: 4Kw, 4-way, 4w blocks.
     BusTiming timing;               ///< Paper base: 1-word bus, 8-cycle mem.
     OptPolicy policy = OptPolicy::all();
+    /** Clustered bus topology (docs/ARCHITECTURE.md); 0 = single bus. */
+    ClusterConfig cluster;
     LayoutConfig layout;            ///< Area sizes (numPes is overridden).
     std::uint64_t maxSteps = 0;     ///< Step limit; exceeding it raises
                                     ///< SimFault(Timeout). 0 = unlimited.

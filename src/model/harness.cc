@@ -23,6 +23,8 @@ makeSystemConfig(const HarnessConfig& config)
     sys.memoryWords =
         std::max<std::uint64_t>(config.spanWords(), config.blockWords);
     sys.snoopFilter = config.snoopFilter;
+    sys.cluster.clusterSize = config.clusterSize;
+    sys.cluster.hopCycles = config.hopCycles;
     sys.validate();
     return sys;
 }

@@ -52,6 +52,15 @@ struct HarnessConfig {
      * which pins the filter's exactness.
      */
     bool snoopFilter = true;
+    /**
+     * Clustered snooping-bus topology (docs/ARCHITECTURE.md): PEs per
+     * cluster (0 = single bus) and the interconnect hop cost. Clustering
+     * is a pure timing feature, so every divergence check — including
+     * the exact bus accounting and attribution cross-checks — must hold
+     * with it on, which the conform suite fuzzes.
+     */
+    std::uint32_t clusterSize = 0;
+    std::uint32_t hopCycles = 4;
 
     /** The explored address span is [0, spanWords()). */
     Addr

@@ -54,6 +54,7 @@ busBucketName(BusBucket bucket)
       case BusBucket::Invalidation: return "invalidation";
       case BusBucket::LockTraffic:  return "lock-traffic";
       case BusBucket::WordWrite:    return "word-write";
+      case BusBucket::InterCluster: return "inter-cluster";
     }
     return "?";
 }
@@ -104,33 +105,40 @@ void
 AttributionEngine::onBusTransaction(const BusTxnEvent& event)
 {
     // Occupancy is exactly the cycles BusStats charged for this
-    // transaction (bus.cc sets completedAt = startedAt + cost), which is
-    // what makes the bucket attribution exact, not approximate.
+    // transaction (bus.cc sets completedAt = startedAt + cost + hops).
+    // The interconnect hops are peeled off first — BusStats keeps them
+    // out of cyclesByPattern too — which is what makes the bucket and
+    // pattern attribution exact, not approximate.
     const Cycles occupancy = event.completedAt - event.startedAt;
+    const Cycles hop = std::min<Cycles>(event.interClusterCycles, occupancy);
+    const Cycles local = occupancy - hop;
     const int p = static_cast<int>(event.pattern);
-    patternCycles_[p] += occupancy;
+    patternCycles_[p] += local;
     patternTrans_[p] += 1;
+    // Cycles-only bucket: the hop rides on a transaction counted in its
+    // base bucket below, so transByBucket_ is untouched.
+    charge(event, BusBucket::InterCluster, hop);
 
     // Primary bucket plus the dirty-victim split: a victim pattern costs
     // the clean-pattern base, with any excess being the visible share of
     // the copy-back transfer (zero under the paper's timing, where the
     // victim hides under the memory wait).
     BusBucket bucket = BusBucket::MemoryFill;
-    Cycles base = occupancy;
+    Cycles base = local;
     switch (event.pattern) {
       case BusPattern::MemFetch:
         bucket = BusBucket::MemoryFill;
         break;
       case BusPattern::MemFetchVictim:
         bucket = BusBucket::MemoryFill;
-        base = std::min<Cycles>(occupancy, timing_.swapInCycles(false));
+        base = std::min<Cycles>(local, timing_.swapInCycles(false));
         break;
       case BusPattern::C2C:
         bucket = BusBucket::CacheSupply;
         break;
       case BusPattern::C2CVictim:
         bucket = BusBucket::CacheSupply;
-        base = std::min<Cycles>(occupancy,
+        base = std::min<Cycles>(local,
                                 timing_.cacheToCacheCycles(false));
         break;
       case BusPattern::SwapOutOnly:
@@ -149,8 +157,8 @@ AttributionEngine::onBusTransaction(const BusTxnEvent& event)
     }
     transByBucket_[static_cast<int>(bucket)] += 1;
     charge(event, bucket, base);
-    if (occupancy > base)
-        charge(event, BusBucket::CopyBack, occupancy - base);
+    if (local > base)
+        charge(event, BusBucket::CopyBack, local - base);
 
     BlockTally& heat = blocks_[event.blockAddr];
     heat.busCycles += occupancy;
@@ -508,6 +516,13 @@ AttributionEngine::crossCheck(const BusStats& stats) const
             << " != BusStats.totalCycles " << stats.totalCycles;
         return out.str();
     }
+    if (bucketCycles(BusBucket::InterCluster) != stats.interClusterCycles) {
+        out << "attributed inter-cluster cycles "
+            << bucketCycles(BusBucket::InterCluster)
+            << " != BusStats.interClusterCycles "
+            << stats.interClusterCycles;
+        return out.str();
+    }
     std::uint64_t trans_by_stats = 0;
     for (int p = 0; p < kNumBusPatterns; ++p) {
         trans_by_stats += stats.transByPattern[p];
@@ -568,7 +583,7 @@ AttributionEngine::report(std::size_t top_n) const
 
     Table by_op("bus cycles by in-flight operation");
     by_op.setHeader({"op", "fill", "c2c", "copyback", "inval", "lock",
-                     "word-wr", "total"});
+                     "word-wr", "x-clu", "total"});
     for (int o = 0; o <= kNumMemOps; ++o) {
         Cycles row_total = 0;
         for (int b = 0; b < kNumBusBuckets; ++b)
@@ -581,7 +596,7 @@ AttributionEngine::report(std::size_t top_n) const
                       u64(opCycles_[o][0]), u64(opCycles_[o][1]),
                       u64(opCycles_[o][2]), u64(opCycles_[o][3]),
                       u64(opCycles_[o][4]), u64(opCycles_[o][5]),
-                      u64(row_total)});
+                      u64(opCycles_[o][6]), u64(row_total)});
     }
     out << by_op.toString() << "\n";
 

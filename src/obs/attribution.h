@@ -73,9 +73,15 @@ enum class BusBucket : std::uint8_t {
     Invalidation = 3, ///< I commands.
     LockTraffic = 4,  ///< UL broadcasts and LH-rejected attempts.
     WordWrite = 5,    ///< Write-through word writes (DW/ER baseline).
+    /**
+     * Interconnect hop cycles on the clustered topology. Cycles-only
+     * bucket: the hops ride on transactions already counted in their
+     * base bucket, so it contributes no transaction count.
+     */
+    InterCluster = 6,
 };
 
-inline constexpr int kNumBusBuckets = 6;
+inline constexpr int kNumBusBuckets = 7;
 
 /** Short lowercase bucket name. */
 const char* busBucketName(BusBucket bucket);

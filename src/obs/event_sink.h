@@ -51,6 +51,8 @@ struct BusTxnEvent {
     bool supplied = false;  ///< H response: data came cache-to-cache.
     bool supplierDirty = false;
     std::uint32_t dataBeats = 0; ///< Data-carrying bus cycles.
+    /** Interconnect hop cycles (clustered topology; 0 on one bus). */
+    Cycles interClusterCycles = 0;
 };
 
 /** Observer of mechanism-level simulator events. All hooks default to

@@ -94,6 +94,9 @@ StressConfig::replayLine() const
         out << " --no-audit";
     if (!snoopFilter)
         out << " --no-snoop-filter";
+    if (clusterSize != 0)
+        out << " --cluster-size=" << clusterSize
+            << " --hop-cycles=" << hopCycles;
     return out.str();
 }
 
@@ -122,6 +125,8 @@ runStress(const StressConfig& config)
     sys_config.memoryWords =
         (rec_base + (max_records + 1) * block + block - 1) / block * block;
     sys_config.snoopFilter = config.snoopFilter;
+    sys_config.cluster.clusterSize = config.clusterSize;
+    sys_config.cluster.hopCycles = config.hopCycles;
     sys_config.validate();
 
     const FaultPlan plan = FaultPlan::parse(config.planSpec);

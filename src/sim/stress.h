@@ -66,6 +66,14 @@ struct StressConfig {
      */
     bool snoopFilter = true;
     /**
+     * Clustered bus topology (docs/ARCHITECTURE.md): PEs per cluster
+     * (0 = single bus) and the interconnect hop cost. Timing-only, but
+     * part of the replay line: cluster timing changes arbitration order
+     * visible through makespans and the fingerprint.
+     */
+    std::uint32_t clusterSize = 0;
+    std::uint32_t hopCycles = 4;
+    /**
      * Wall-clock budget in seconds (0 = unlimited). A run that exceeds
      * it fails with SimFault(Timeout) via the RunGuard polled in
      * System::access — bounded execution instead of a wedged worker.

@@ -67,6 +67,17 @@ SystemConfig::validate() const
                             memoryWords,
                             ") must be a multiple of the cache block size (",
                             geom.blockWords, " words)");
+    if (numPes > ResidencyFilter::kMaxMaskWords * 64)
+        throw PIM_SIM_FAULT(SimFaultKind::Config, "numPes (", numPes,
+                            ") exceeds the residency filter's ",
+                            ResidencyFilter::kMaxMaskWords * 64,
+                            "-PE mask limit");
+    if (cluster.clustered() && cluster.clustersFor(numPes) > 64)
+        throw PIM_SIM_FAULT(
+            SimFaultKind::Config, "clusterSize ", cluster.clusterSize,
+            " partitions ", numPes, " PEs into ",
+            cluster.clustersFor(numPes),
+            " clusters; the inter-cluster directory supports at most 64");
 }
 
 void
@@ -83,7 +94,7 @@ SystemConfig::validate(std::uint64_t required_words) const
 System::System(const SystemConfig& config)
     : config_(validated(withSyncedTiming(config))),
       memory_(config.memoryWords),
-      bus_(std::make_unique<Bus>(config_.timing, memory_)),
+      bus_(std::make_unique<Bus>(config_.timing, memory_, config_.cluster)),
       clock_(config.numPes, 0),
       parkedOn_(config.numPes, kNoAddr)
 {

@@ -46,6 +46,15 @@ struct SystemConfig {
      * reproduces the pre-filter broadcast for A/B measurement.
      */
     bool snoopFilter = true;
+    /**
+     * Clustered snooping-bus topology (docs/ARCHITECTURE.md). The
+     * default (clusterSize 0) keeps the paper's single shared bus;
+     * clusterSize > 0 partitions the PEs into per-cluster buses joined
+     * by an interconnect whose crossings cost cluster.hopCycles each
+     * way. Protocol outcomes are identical on every topology — only
+     * timing changes.
+     */
+    ClusterConfig cluster;
 
     /**
      * Check the configuration for construction-time errors (zero PEs,

@@ -133,6 +133,10 @@ runKl1Task(SweepRow& row, double timeout_seconds)
         static_cast<std::uint32_t>(point.number("lockEntries", 2));
     config.timing.widthWords =
         static_cast<std::uint32_t>(point.number("busWidthWords", 1));
+    config.cluster.clusterSize =
+        static_cast<std::uint32_t>(point.number("clusterSize", 0));
+    config.cluster.hopCycles =
+        static_cast<std::uint32_t>(point.number("hopCycles", 4));
     config.enableGc = point.number("enableGc", 0) != 0;
     config.timeoutSeconds = timeout_seconds;
 
@@ -149,6 +153,12 @@ runKl1Task(SweepRow& row, double timeout_seconds)
            static_cast<double>(result.run.instructions));
     metric(row, "memory_refs", static_cast<double>(result.refs.total()));
     metric(row, "steals", static_cast<double>(result.run.steals));
+    // Emitted only on clustered points so single-bus sweep outputs stay
+    // byte-identical to the pre-cluster simulator.
+    if (config.cluster.clustered()) {
+        metric(row, "inter_cluster_cycles",
+               static_cast<double>(result.bus.interClusterCycles));
+    }
 }
 
 /** Run one stress point; a detected fault becomes a failed row. */
@@ -177,6 +187,10 @@ runStressTask(SweepRow& row, std::uint64_t derived_seed,
     config.optPct =
         static_cast<std::uint32_t>(point.number("optPct", 15));
     config.planSpec = point.text("plan", "");
+    config.clusterSize =
+        static_cast<std::uint32_t>(point.number("clusterSize", 0));
+    config.hopCycles =
+        static_cast<std::uint32_t>(point.number("hopCycles", 4));
     config.timeoutSeconds = timeout_seconds;
     if (point.has("starvationBound")) {
         config.watchdog.starvationBound = static_cast<std::uint64_t>(

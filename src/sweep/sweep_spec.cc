@@ -452,6 +452,65 @@ SweepSpec::paperGrid()
 }
 
 SweepSpec
+SweepSpec::clustersGrid()
+{
+    // Beyond-the-paper scaling grid (docs/ARCHITECTURE.md,
+    // docs/EXPERIMENTS.md "Beyond the paper"): a clustered stress
+    // batch so the auditor sees the wide multi-word masks, the single
+    // bus measured up to its saturation point, and the clustered
+    // topology (16 PEs per snooping bus, 2-cycle hops) from 128 to
+    // 1024 PEs. The single-bus branch deliberately stops at 128 PEs:
+    // the bus is already ~99% busy there, and past saturation the
+    // emulator's idle-PE poll traffic feeds back into the one global
+    // queue, so each further doubling multiplies *simulation* cost
+    // ~40x to measure a machine whose behavior is already known
+    // (every added PE just queues). The wide clustered points are
+    // minutes each — this grid is the experiment record, not the CI
+    // smoke.
+    SweepSpec spec;
+    spec.name = "clusters";
+    spec.seed = 1;
+
+    // First so a `--max-tasks=4` run validates the stress batch alone.
+    SweepExperiment stress;
+    stress.id = "clustered_stress";
+    stress.kind = TaskKind::Stress;
+    stress.seeds = 4;
+    stress.base.set("steps", ParamValue::ofNumber(20000));
+    stress.base.set("pes", ParamValue::ofNumber(96));
+    stress.base.set("clusterSize", ParamValue::ofNumber(8));
+    stress.base.set("hopCycles", ParamValue::ofNumber(2));
+    // No lock traffic: the generator acquires locks in random order
+    // (hold-and-wait), and at 96 uncoordinated PEs that builds a
+    // genuine deadlock cycle for any nonzero share — every PE parked,
+    // watchdog correctly reporting it. This batch's job is the wide
+    // multi-word masks and inter-cluster routing under the auditor;
+    // clustered *lock* coverage lives at tractable PE counts in the
+    // ctest `cluster` label (stress smoke, conformance fuzz,
+    // attribution cross-check).
+    stress.base.set("lockPct", ParamValue::ofNumber(0));
+    spec.experiments.push_back(std::move(stress));
+
+    SweepExperiment single;
+    single.id = "single_bus_saturation";
+    single.base.set("scale", ParamValue::ofNumber(1));
+    single.base.set("benchmark", ParamValue::ofText("Pascal"));
+    single.axes.emplace_back("pes", numbers({64, 96, 128}));
+    spec.experiments.push_back(std::move(single));
+
+    SweepExperiment clustered;
+    clustered.id = "clustered_scaling";
+    clustered.base.set("scale", ParamValue::ofNumber(1));
+    clustered.base.set("benchmark", ParamValue::ofText("Pascal"));
+    clustered.base.set("clusterSize", ParamValue::ofNumber(16));
+    clustered.base.set("hopCycles", ParamValue::ofNumber(2));
+    clustered.axes.emplace_back("pes", numbers({128, 256, 512, 1024}));
+    spec.experiments.push_back(std::move(clustered));
+
+    return spec;
+}
+
+SweepSpec
 SweepSpec::smokeGrid()
 {
     // Tiny 4-point grid for CI (tier-1 `sweep` label): two KL1 runs and

@@ -116,6 +116,14 @@ struct SweepSpec {
 
     /** Built-in tiny 4-point spec for CI smokes (`--spec=smoke`). */
     static SweepSpec smokeGrid();
+
+    /**
+     * Built-in beyond-the-paper scaling grid (`--spec=clusters`,
+     * docs/ARCHITECTURE.md): a clustered stress batch, the single bus
+     * up to its 128-PE saturation point, and the clustered topology
+     * from 128 to 1024 PEs.
+     */
+    static SweepSpec clustersGrid();
 };
 
 /**

@@ -188,10 +188,13 @@ checkBusAccounting(const BusStats& before, const BusStats& after,
         pattern_sum += d_cycles;
     }
     const Cycles d_total = after.totalCycles - before.totalCycles;
-    if (d_total != pattern_sum) {
+    const Cycles d_inter =
+        after.interClusterCycles - before.interClusterCycles;
+    if (d_total != pattern_sum + d_inter) {
         throw PIM_SIM_FAULT(
             SimFaultKind::Protocol, context, ": total bus cycle delta ",
-            d_total, " does not equal the per-pattern sum ", pattern_sum);
+            d_total, " does not equal the per-pattern sum ", pattern_sum,
+            " plus the inter-cluster hop delta ", d_inter);
     }
 }
 

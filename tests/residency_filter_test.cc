@@ -72,20 +72,72 @@ TEST(ResidencyFilterUnit, CopyAndLockMasksAreIndependent)
     EXPECT_EQ(filter.lockMask(0), 1ull << 2);
 }
 
-TEST(ResidencyFilterUnit, WidePeDegradesToInexact)
+TEST(ResidencyFilterUnit, MultiWordMasksAreExactAcrossWordBoundaries)
 {
     ResidencyFilter filter;
     filter.setBlockWords(4);
+    EXPECT_EQ(filter.maskWords(), 1u);
+    filter.registerPe(63);
+    EXPECT_EQ(filter.maskWords(), 1u);
+    filter.registerPe(64);
+    EXPECT_EQ(filter.maskWords(), 2u);
+    filter.registerPe(128);
+    EXPECT_EQ(filter.maskWords(), 3u);
+    // Registering wide PEs never degrades exactness — the multi-word
+    // masks cover them (the old single-word design went inexact here).
     EXPECT_TRUE(filter.exact());
-    filter.registerPe(ResidencyFilter::kMaxPes - 1);
-    EXPECT_TRUE(filter.exact());
-    filter.registerPe(ResidencyFilter::kMaxPes);
-    EXPECT_FALSE(filter.exact());
 
-    ResidencyFilter other;
-    other.setBlockWords(4);
-    other.addCopy(ResidencyFilter::kMaxPes, 0);
-    EXPECT_FALSE(other.exact());
+    PeBitset expect(3);
+    for (const PeId pe : {63u, 64u, 65u, 127u, 128u}) {
+        filter.addCopy(pe, 8);
+        expect.set(pe);
+    }
+    EXPECT_EQ(filter.copyMask(8), expect);
+    EXPECT_EQ(filter.copyMask(8).count(), 5u);
+    EXPECT_TRUE(filter.anyCopyExcept(8, 63));
+
+    filter.removeCopy(64, 8);
+    expect.clear(64);
+    EXPECT_EQ(filter.copyMask(8), expect);
+
+    // The walk visits holders in ascending PE order across mask words.
+    std::vector<PeId> visited;
+    filter.forEachCopyHolder(8, 63, [&](PeId pe) { visited.push_back(pe); });
+    EXPECT_EQ(visited, (std::vector<PeId>{65, 127, 128}));
+}
+
+TEST(ResidencyFilterUnit, RegisterAfterContentRelaysExistingMasks)
+{
+    ResidencyFilter filter;
+    filter.setBlockWords(4);
+    filter.addCopy(3, 8);
+    filter.setLockResident(5, 8, true);
+    // Growing the mask width re-lays existing pages; no bit may be lost.
+    filter.registerPe(200);
+    EXPECT_EQ(filter.maskWords(), 4u);
+    EXPECT_EQ(filter.copyMask(8), 1ull << 3);
+    EXPECT_EQ(filter.lockMask(8), 1ull << 5);
+    filter.addCopy(200, 8);
+    PeBitset expect(4);
+    expect.set(3);
+    expect.set(200);
+    EXPECT_EQ(filter.copyMask(8), expect);
+}
+
+TEST(ResidencyFilterUnit, RangeQueriesRespectWordBoundaries)
+{
+    ResidencyFilter filter;
+    filter.setBlockWords(4);
+    filter.registerPe(191);
+    filter.addCopy(64, 8);
+    filter.setLockResident(127, 8, true);
+    EXPECT_FALSE(filter.anyCopyInRange(8, 0, 64));
+    EXPECT_TRUE(filter.anyCopyInRange(8, 64, 65));
+    EXPECT_TRUE(filter.anyCopyInRange(8, 0, 128));
+    EXPECT_FALSE(filter.anyCopyInRange(8, 65, 192));
+    EXPECT_FALSE(filter.anyLockInRange(8, 0, 127));
+    EXPECT_TRUE(filter.anyLockInRange(8, 127, 128));
+    EXPECT_FALSE(filter.anyLockInRange(8, 128, 192));
 }
 
 TEST(ResidencyFilterUnit, NonPowerOfTwoBlockWordsStillIndexes)
@@ -132,15 +184,15 @@ expectExactMasks(const System& system, Addr lo, Addr hi)
         system.cache(0).config().geometry.blockWords;
     const std::uint32_t pes = system.config().numPes;
     for (Addr base = lo / block * block; base < hi; base += block) {
-        std::uint64_t expect_copies = 0;
-        std::uint64_t expect_locks = 0;
+        PeBitset expect_copies((pes + 63) / 64);
+        PeBitset expect_locks((pes + 63) / 64);
         for (PeId pe = 0; pe < pes; ++pe) {
             if (system.cache(pe).present(base))
-                expect_copies |= 1ull << pe;
+                expect_copies.set(pe);
             for (const auto& [word, state] :
                  system.cache(pe).lockDirectory().entries()) {
                 if (word / block * block == base)
-                    expect_locks |= 1ull << pe;
+                    expect_locks.set(pe);
             }
         }
         EXPECT_EQ(system.bus().residency().copyMask(base), expect_copies)
@@ -262,6 +314,60 @@ TEST(ResidencyMasks, LockSurvivesBlockEviction)
 }
 
 // ---------------------------------------------------------------------
+// Wide machines: the masks stay exact past the 64-PE word boundary.
+// ---------------------------------------------------------------------
+
+TEST(ResidencyMasks, WideMachineMasksStayExact)
+{
+    System system(tinyConfig(128));
+    // Sharers straddling the mask-word boundary, then an invalidating
+    // write from the far side.
+    for (const PeId pe : {0u, 63u, 64u, 65u, 127u})
+        system.access(pe, MemOp::R, 0, Area::Heap);
+    PeBitset expect(2);
+    for (const PeId pe : {0u, 63u, 64u, 65u, 127u})
+        expect.set(pe);
+    EXPECT_EQ(system.bus().residency().copyMask(0), expect);
+    system.access(127, MemOp::W, 1, Area::Heap, 7);
+    PeBitset only127(2);
+    only127.set(127);
+    EXPECT_EQ(system.bus().residency().copyMask(0), only127);
+    expectExactMasks(system, 0, 64);
+
+    // DW/ER hand-off across the boundary purges the wide supplier.
+    system.access(64, MemOp::DW, 8, Area::Heap, 99);
+    const System::Access got = system.access(65, MemOp::ER, 8, Area::Heap);
+    EXPECT_EQ(got.data, 99u);
+    EXPECT_FALSE(system.cache(64).present(8));
+    PeBitset only65(2);
+    only65.set(65);
+    EXPECT_EQ(system.bus().residency().copyMask(8), only65);
+
+    // RP purges a wide PE's own copy.
+    system.access(100, MemOp::DW, 16, Area::Heap, 5);
+    system.access(100, MemOp::RP, 16, Area::Heap);
+    EXPECT_EQ(system.bus().residency().copyMask(16), 0u);
+    expectExactMasks(system, 0, 64);
+
+    // Evictions on a wide PE (2 sets: bases 0,32,64,96 map to set 0).
+    for (const Addr base : {Addr{32}, Addr{64}, Addr{96}, Addr{128}})
+        system.access(90, MemOp::R, base, Area::Heap);
+    expectExactMasks(system, 0, 256);
+
+    // Locks across the boundary, then flushAll clears every copy bit.
+    system.access(70, MemOp::LR, 40, Area::Heap);
+    PeBitset lock70(2);
+    lock70.set(70);
+    EXPECT_EQ(system.bus().residency().lockMask(40), lock70);
+    system.access(70, MemOp::U, 40, Area::Heap);
+    for (PeId pe = 0; pe < 128; ++pe)
+        system.cache(pe).flushAll();
+    for (Addr base = 0; base < 256; base += 4)
+        EXPECT_EQ(system.bus().residency().copyMask(base), 0u);
+    expectExactMasks(system, 0, 256);
+}
+
+// ---------------------------------------------------------------------
 // On/off differential: filtering must be observationally invisible.
 // ---------------------------------------------------------------------
 
@@ -337,6 +443,77 @@ TEST(ResidencyDifferential, FilterOnAndOffAreBitIdentical)
                   broadcast.bus().stats().cyclesByPattern[pattern]);
     }
     expectExactMasks(filtered, 0, 1024);
+}
+
+TEST(ResidencyDifferential, WideMachineFilterOnAndOffAreBitIdentical)
+{
+    SystemConfig on_config = tinyConfig(128);
+    SystemConfig off_config = on_config;
+    off_config.snoopFilter = false;
+    System filtered(on_config);
+    System broadcast(off_config);
+
+    // Same structure as the 4-PE differential, with the lock words and
+    // record area moved clear of each other for 128 PEs (each PE's lock
+    // word in its own block keeps the stream retry-free).
+    Rng rng(128128);
+    std::vector<Addr> records;
+    std::vector<bool> holds(128, false);
+    Addr next_record = 8192;
+    for (int step = 0; step < 2000; ++step) {
+        const PeId pe = static_cast<PeId>(rng.below(128));
+        const std::uint64_t roll = rng.below(100);
+        MemOp op;
+        Addr addr;
+        Word wdata = 0;
+        if (roll < 20) {
+            addr = 4096 + pe * 4;
+            if (holds[pe]) {
+                op = rng.chance(1, 2) ? MemOp::U : MemOp::UW;
+                if (op == MemOp::UW)
+                    wdata = rng.next();
+                holds[pe] = false;
+            } else {
+                op = MemOp::LR;
+                holds[pe] = true;
+            }
+        } else if (roll < 30) {
+            if (!records.empty() && rng.chance(1, 2)) {
+                addr = records.back();
+                records.pop_back();
+                op = rng.chance(1, 2) ? MemOp::ER : MemOp::RP;
+            } else {
+                op = MemOp::DW;
+                addr = next_record;
+                next_record += 4;
+                wdata = rng.next();
+                records.push_back(addr);
+            }
+        } else {
+            op = roll < 60 ? MemOp::W : MemOp::R;
+            addr = rng.below(256);
+            if (op == MemOp::W)
+                wdata = rng.next();
+        }
+        const System::Access a =
+            filtered.access(pe, op, addr, Area::Heap, wdata);
+        const System::Access b =
+            broadcast.access(pe, op, addr, Area::Heap, wdata);
+        ASSERT_FALSE(a.lockWait) << "step " << step;
+        ASSERT_FALSE(b.lockWait) << "step " << step;
+        ASSERT_EQ(a.data, b.data) << "step " << step;
+    }
+
+    EXPECT_EQ(filtered.protocolHash(0, 16384),
+              broadcast.protocolHash(0, 16384));
+    for (int pattern = 0; pattern < kNumBusPatterns; ++pattern) {
+        EXPECT_EQ(filtered.bus().stats().transByPattern[pattern],
+                  broadcast.bus().stats().transByPattern[pattern]);
+        EXPECT_EQ(filtered.bus().stats().cyclesByPattern[pattern],
+                  broadcast.bus().stats().cyclesByPattern[pattern]);
+    }
+    expectExactMasks(filtered, 0, 1024);
+    expectExactMasks(filtered, 4096, 4608);
 }
 
 } // namespace
