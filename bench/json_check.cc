@@ -43,8 +43,8 @@ usage()
         "  Parses each FILE as JSON and verifies every --require dotted\n"
         "  path resolves (numeric segments index arrays).\n"
         "  --schema adds a built-in path set: bench, sweep, sweep-perf,\n"
-        "  perf, campaign, attribution, history (history validates each\n"
-        "  JSONL line as its own document).\n");
+        "  perf, zoo, campaign, attribution, history (history validates\n"
+        "  each JSONL line as its own document).\n");
 }
 
 /** Built-in required paths for @p schema; false if unknown. */
@@ -127,6 +127,22 @@ schemaPaths(const std::string& schema, std::vector<std::string>* out)
         *out = {"seq", "stamp", "label", "inputs", "metrics"};
         return true;
     }
+    if (schema == "zoo") {
+        // fig_zoo's protocol x replacement comparison report.
+        *out = {"name",
+                "scale",
+                "pes",
+                "rows.0.bench",
+                "rows.0.bus_cycles_pim",
+                "rows.0.rel_msi",
+                "rows.0.rel_mesi",
+                "rows.0.rel_moesi",
+                "rows.0.rel_dragon",
+                "rows.0.repl_rel_fifo",
+                "rows.0.repl_rel_random",
+                "rows.0.updates_dragon"};
+        return true;
+    }
     if (schema == "perf") {
         // pim_perf's BENCH_perf.json snoop-filter throughput report.
         *out = {"name",
@@ -168,8 +184,8 @@ main(int argc, char** argv)
         if (!schemaPaths(schema, &required)) {
             std::fprintf(stderr,
                          "json_check: unknown schema '%s' (expected "
-                         "bench, sweep, sweep-perf, perf, campaign, "
-                         "attribution or history)\n",
+                         "bench, sweep, sweep-perf, perf, zoo, "
+                         "campaign, attribution or history)\n",
                          schema.c_str());
             return 1;
         }

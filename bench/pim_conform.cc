@@ -14,6 +14,10 @@
  *  - replay: run a shrunk reproducer script back under full checking.
  *      pim_conform --replay='P0:W@0=1;P1:R@0'
  *
+ * --protocol=NAME selects the coherence-protocol variant under test
+ * (see --list-protocols; default pim) and --replacement=NAME the
+ * replacement policy (lru, fifo, random) — the zoo's conformance axis.
+ *
  * --mutate=NAME arms one seeded protocol bug (see --list-mutations);
  * with --expect-divergence the exit code inverts, so the conformance
  * ctest suite proves the engine catches every mutation — and prints the
@@ -56,6 +60,22 @@ harnessFromOptions(const Options& opt)
                      "pim_conform: unknown mutation '%s' "
                      "(see --list-mutations)\n",
                      mutate.c_str());
+        std::exit(2);
+    }
+    const std::string protocol = opt.getString("protocol", "pim");
+    if (!parseProtocolKind(protocol, &config.protocol)) {
+        std::fprintf(stderr,
+                     "pim_conform: unknown protocol '%s' "
+                     "(see --list-protocols)\n",
+                     protocol.c_str());
+        std::exit(2);
+    }
+    const std::string replacement = opt.getString("replacement", "lru");
+    if (!parseReplacementKind(replacement, &config.replacement)) {
+        std::fprintf(stderr,
+                     "pim_conform: unknown replacement policy '%s' "
+                     "(lru, fifo, random)\n",
+                     replacement.c_str());
         std::exit(2);
     }
     return config;
@@ -113,6 +133,14 @@ main(int argc, char** argv)
         return 0;
     }
 
+    if (opt.getBool("list-protocols")) {
+        for (int i = 0; i < kNumProtocolKinds; ++i) {
+            std::printf("%s\n",
+                        protocolKindName(static_cast<ProtocolKind>(i)));
+        }
+        return 0;
+    }
+
     const HarnessConfig harness = harnessFromOptions(opt);
 
     try {
@@ -149,9 +177,11 @@ main(int argc, char** argv)
             config.len = static_cast<std::uint32_t>(opt.getInt("len", 200));
             config.shrink = !opt.getBool("no-shrink");
             const FuzzResult result = fuzz(config);
-            std::printf("fuzz: %llu traces, %llu commands, mutation=%s\n",
+            std::printf("fuzz: %llu traces, %llu commands, protocol=%s, "
+                        "mutation=%s\n",
                         static_cast<unsigned long long>(result.tracesRun),
                         static_cast<unsigned long long>(result.commandsRun),
+                        protocolKindName(harness.protocol),
                         protocolMutationName(harness.mutation));
             if (result.divergence) {
                 std::printf("failing seed: %llu\n",
@@ -172,11 +202,12 @@ main(int argc, char** argv)
             opt.getInt("max-states", 500000));
         const ExploreResult result = explore(config);
         std::printf("explore: %llu states, %llu edges, %llu step checks, "
-                    "depth=%u, mutation=%s%s\n",
+                    "depth=%u, protocol=%s, mutation=%s%s\n",
                     static_cast<unsigned long long>(result.states),
                     static_cast<unsigned long long>(result.edges),
                     static_cast<unsigned long long>(result.checks),
-                    config.depth, protocolMutationName(harness.mutation),
+                    config.depth, protocolKindName(harness.protocol),
+                    protocolMutationName(harness.mutation),
                     result.truncated ? " (truncated by --max-states)" : "");
         if (result.divergence)
             printDivergence(result.divergenceMessage,

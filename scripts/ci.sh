@@ -51,6 +51,25 @@ cluster_smoke() {
         "${dir}/BENCH_perf_clustered.json"
 }
 
+# Protocol & replacement-policy zoo gate (docs/ARCHITECTURE.md
+# "Protocol matrix"): a short differential fuzz of every non-default
+# coherence protocol, the fig_zoo table byte-compared against its
+# golden (pinning the PIM baseline column), and the --json document
+# validated against the `zoo` schema.
+zoo_smoke() {
+    local dir="build-release"
+    echo "=== zoo smoke (${dir}) ==="
+    local proto
+    for proto in msi mesi moesi dragon; do
+        "${dir}/bench/pim_conform" --fuzz --protocol="${proto}" \
+            --pes=3 --blocks=2 --sets=2 --seed=11 --traces=10 --len=100
+    done
+    "${dir}/bench/fig_zoo" --scale 1 --pes 2 \
+        --json="${dir}/BENCH_fig_zoo.json" > "${dir}/fig_zoo.txt"
+    diff -u tests/golden/fig_zoo.txt "${dir}/fig_zoo.txt"
+    "${dir}/bench/json_check" --schema=zoo "${dir}/BENCH_fig_zoo.json"
+}
+
 # Short chaos soak campaign (docs/ROBUSTNESS.md): the smoke fault-plan
 # x seed grid must end with zero escaped injections, and CAMPAIGN.json
 # must satisfy the campaign schema.
@@ -109,6 +128,7 @@ for leg in "${legs[@]}"; do
         run_leg release -DCMAKE_BUILD_TYPE=Release
         perf_smoke
         cluster_smoke
+        zoo_smoke
         soak_smoke
         report_gate
         ;;

@@ -529,6 +529,48 @@ Bus::writeWordThrough(PeId requester, Addr word_addr, Word value,
     return complete;
 }
 
+UpdateResult
+Bus::updateWord(PeId requester, Addr word_addr, Word value, Cycles when,
+                Area area)
+{
+    const Addr block_addr = word_addr - word_addr % timing_.blockWords;
+    const Route route = routeFor(requester, block_addr, true, false);
+    const Cycles start = arbitrate(route, when);
+    UpdateResult result;
+    if (filterActive()) {
+        residency_.forEachCopyHolder(
+            block_addr, requester, [&](PeId pe) {
+                if (portOf(pe)->cache->snoopUpdate(word_addr, value, start))
+                    result.sharerPresent = true;
+            });
+    } else {
+        for (const Port& port : ports_) {
+            if (port.pe == requester || port.cache == nullptr)
+                continue;
+            if (port.cache->snoopUpdate(word_addr, value, start))
+                result.sharerPresent = true;
+        }
+    }
+    const Cycles cost = timing_.wordUpdateCycles();
+    stats_.account(BusPattern::WordUpdate, cost, area, requester, route.hop);
+    release(route, start + cost + route.hop);
+    result.completeAt = start + cost + route.hop;
+    if (sink_ != nullptr) {
+        BusTxnEvent event;
+        event.requester = requester;
+        event.pattern = BusPattern::WordUpdate;
+        event.area = area;
+        event.blockAddr = block_addr;
+        event.requestedAt = when;
+        event.startedAt = start;
+        event.completedAt = result.completeAt;
+        event.dataBeats = 1;
+        event.interClusterCycles = route.hop;
+        emitTxn(event);
+    }
+    return result;
+}
+
 void
 Bus::readMemoryBlock(Addr block_addr, Word* data_out) const
 {

@@ -62,6 +62,23 @@ class BusSnooper
      * requester instead of being silently lost.
      */
     virtual bool snoopInvalidate(Addr block_addr, Cycles when) = 0;
+
+    /**
+     * Dragon word-update broadcast observed for @p word_addr at bus time
+     * @p when: a cache holding the word's block must snarf @p value into
+     * it (and, if it was the dirty owner, downgrade to clean S — dirty
+     * ownership migrates to the writer). @return true iff this cache
+     * holds a copy. Default: no copy (invalidation-based protocols never
+     * see updates).
+     */
+    virtual bool
+    snoopUpdate(Addr word_addr, Word value, Cycles when)
+    {
+        (void)word_addr;
+        (void)value;
+        (void)when;
+        return false;
+    }
 };
 
 /** Lock-directory-side snoop interface. */
@@ -154,6 +171,14 @@ struct InvalidateResult {
     Cycles completeAt = 0;
 };
 
+/** Result of a word-update broadcast (Dragon shared write). */
+struct UpdateResult {
+    /** Some remote cache snarfed the word: the writer must stay in a
+     *  shared state (SM). False: the writer is the sole holder (EM). */
+    bool sharerPresent = false;
+    Cycles completeAt = 0;
+};
+
 /**
  * The common bus shared by all PEs and the memory modules.
  *
@@ -241,6 +266,17 @@ class Bus
      * bus transaction). Costs wordWriteCycles().
      */
     Cycles writeWordThrough(PeId requester, Addr word_addr, Word value,
+                            Cycles when, Area area);
+
+    /**
+     * Broadcast one written word to every remote copy of its block
+     * (Dragon's shared-write transaction). Unlike writeWordThrough,
+     * shared memory is *not* updated — sharers snarf the word in place
+     * and the writer keeps dirty ownership. Costs wordUpdateCycles().
+     * No lock check: the writer already holds a valid copy, which the
+     * lock protocol guarantees cannot coexist with a remote lock.
+     */
+    UpdateResult updateWord(PeId requester, Addr word_addr, Word value,
                             Cycles when, Area area);
 
     /**

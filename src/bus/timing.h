@@ -98,6 +98,15 @@ struct BusTiming {
     {
         return 1 + (1 + widthWords - 1) / widthWords;
     }
+
+    /** A Dragon word-update broadcast: address + one data beat on the
+     *  wire, same as a word write; snarfing caches absorb it in place
+     *  and no memory operation is started. */
+    Cycles
+    wordUpdateCycles() const
+    {
+        return 1 + (1 + widthWords - 1) / widthWords;
+    }
 };
 
 /** Bus transaction categories, for accounting. */
@@ -111,9 +120,10 @@ enum class BusPattern : std::uint8_t {
     Unlock = 6,         ///< UL broadcast.
     LockReject = 7,     ///< Attempt answered by LH.
     WordWrite = 8,      ///< Write-through word write (baseline only).
+    WordUpdate = 9,     ///< Dragon shared-write word broadcast.
 };
 
-inline constexpr int kNumBusPatterns = 9;
+inline constexpr int kNumBusPatterns = 10;
 
 /** Human-readable pattern name. */
 inline const char*
@@ -129,6 +139,7 @@ busPatternName(BusPattern pattern)
       case BusPattern::Unlock:         return "unlock";
       case BusPattern::LockReject:     return "lock-reject";
       case BusPattern::WordWrite:      return "word-write";
+      case BusPattern::WordUpdate:     return "word-update";
     }
     return "?";
 }

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "cache/protocol.h"
+#include "cache/replacement.h"
 #include "common/xassert.h"
 
 namespace pim {
@@ -103,6 +105,20 @@ struct CacheConfig {
 
     /** Processor-visible latency of a cache hit, in cycles. */
     std::uint32_t hitCycles = 1;
+
+    /**
+     * Coherence protocol variant (docs/ARCHITECTURE.md "Protocol
+     * matrix"). The default PIM table reproduces the paper's 5-state
+     * protocol byte-identically; copybackOnShare above still overrides
+     * the dirty-share behavior for the SM-state ablation.
+     */
+    ProtocolKind protocol = ProtocolKind::PIM;
+
+    /** Replacement policy (LRU = the pre-refactor behavior). */
+    ReplacementKind replacement = ReplacementKind::LRU;
+
+    /** Seed for the random replacement policy's xorshift64. */
+    std::uint64_t replacementSeed = 1;
 };
 
 } // namespace pim

@@ -37,9 +37,25 @@ enum class ProtocolMutation : std::uint8_t {
     /** An unlock with waiters skips the UL broadcast: parked PEs spin on
      *  a lock that is already free. */
     UnlockDropsUl = 4,
+    /** MSI: a read miss served by memory installs exclusive-clean — the
+     *  PIM/MESI rule leaking into a protocol that has no EC state, so a
+     *  later silent write skips the invalidation the S state forces. */
+    MsiMissAsExclusive = 5,
+    /** MESI: a dirty supplier skips the memory write-back on a share and
+     *  migrates its dirtiness PIM-style; MESI has no SM state to record
+     *  it, so everyone ends up clean over stale memory. */
+    MesiShareSkipsWriteback = 6,
+    /** MOESI: the owner answering F downgrades to clean S instead of
+     *  keeping ownership in SM; the dirty data is dropped without a
+     *  write-back and memory stays stale with no owner to account. */
+    MoesiOwnerDropsDirty = 7,
+    /** Dragon: a write to a shared copy skips the word-update broadcast
+     *  and takes the block exclusive; remote sharers survive with stale
+     *  data. */
+    DragonUpdateSkipsSharers = 8,
 };
 
-inline constexpr int kNumProtocolMutations = 5;
+inline constexpr int kNumProtocolMutations = 9;
 
 /** Stable CLI name ("none", "sm_shared_as_clean", ...). */
 inline const char*
@@ -51,6 +67,14 @@ protocolMutationName(ProtocolMutation mutation)
       case ProtocolMutation::WriteSharedSkipsInv: return "write_shared_skips_inv";
       case ProtocolMutation::ErKeepsSupplier:     return "er_keeps_supplier";
       case ProtocolMutation::UnlockDropsUl:       return "unlock_drops_ul";
+      case ProtocolMutation::MsiMissAsExclusive:
+        return "msi_miss_as_exclusive";
+      case ProtocolMutation::MesiShareSkipsWriteback:
+        return "mesi_share_skips_writeback";
+      case ProtocolMutation::MoesiOwnerDropsDirty:
+        return "moesi_owner_drops_dirty";
+      case ProtocolMutation::DragonUpdateSkipsSharers:
+        return "dragon_update_skips_sharers";
     }
     return "?";
 }

@@ -11,6 +11,9 @@ PimCache::PimCache(PeId pe, const CacheConfig& config, Bus& bus)
     : pe_(pe),
       config_(config),
       bus_(bus),
+      proto_(CoherenceProtocol::make(config.protocol)),
+      rngState_(config.replacementSeed ^
+                (0x9e3779b97f4a7c15ull * (pe + 1))),
       locks_(pe, config.lockEntries, &bus, config.geometry.blockWords),
       blocks_(static_cast<std::size_t>(config.geometry.sets) *
               config.geometry.ways),
@@ -23,6 +26,13 @@ PimCache::PimCache(PeId pe, const CacheConfig& config, Bus& bus)
     while ((1u << blockShift_) != config_.geometry.blockWords)
         ++blockShift_;
     setMask_ = config_.geometry.sets - 1;
+    if (rngState_ == 0)
+        rngState_ = 1; // xorshift64 must not start at zero
+    // The Illinois-style ablation predates the protocol zoo and keeps
+    // its CLI: it is exactly the PIM protocol with MESI's dirty-share
+    // behavior.
+    if (config_.copybackOnShare)
+        proto_.dirtyShare = DirtyShare::WritebackToMemory;
     bus_.attach(pe_, this, &locks_);
 }
 
@@ -78,6 +88,13 @@ PimCache::touchLru(Block& block)
     block.lru = ++lruTick_;
 }
 
+void
+PimCache::touchOnHit(Block& block)
+{
+    if (config_.replacement != ReplacementKind::FIFO)
+        touchLru(block);
+}
+
 PimCache::Block&
 PimCache::victimIn(std::uint32_t set)
 {
@@ -90,6 +107,12 @@ PimCache::victimIn(std::uint32_t set)
             return block;
         if (block.lru < victim->lru)
             victim = &block;
+    }
+    // All ways valid: LRU and FIFO both evict the oldest tick (FIFO just
+    // never refreshed it on hits); random draws one xorshift step.
+    if (config_.replacement == ReplacementKind::Random) {
+        rngState_ = replacementRngNext(rngState_);
+        return begin[rngState_ % config_.geometry.ways];
     }
     return *victim;
 }
@@ -238,7 +261,7 @@ PimCache::doRead(const MemRef& ref, Cycles now)
         }
     }
     if (Block* block = findBlock(base)) {
-        touchLru(*block);
+        touchOnHit(*block);
         result.data = blockData(*block)[ref.addr - base];
         result.doneAt = now + config_.hitCycles;
         countAccess(ref, false);
@@ -253,13 +276,15 @@ PimCache::doRead(const MemRef& ref, Cycles now)
         return result;
     }
     Block& block = *outcome.block;
-    if (outcome.supplied) {
-        setState(block, outcome.supplierDirty ? CacheState::SM
-                                              : CacheState::S,
-                 outcome.doneAt);
-    } else {
-        setState(block, CacheState::EC, outcome.doneAt);
+    CacheState install =
+        proto_.installOnReadMiss(outcome.supplied, outcome.supplierDirty);
+    // Seeded bug MsiMissAsExclusive: the EC install of the EC-bearing
+    // protocols leaks into MSI, enabling a later silent write.
+    if (mutation_ == ProtocolMutation::MsiMissAsExclusive &&
+        !outcome.supplied) {
+        install = CacheState::EC;
     }
+    setState(block, install, outcome.doneAt);
     result.data = blockData(block)[ref.addr - base];
     result.doneAt = outcome.doneAt;
     countAccess(ref, true);
@@ -277,7 +302,7 @@ PimCache::doWrite(const MemRef& ref, Word wdata, Cycles now)
         if (Block* block = findBlock(base)) {
             blockData(*block)[ref.addr - base] = wdata;
             setState(*block, CacheState::EC, now);
-            touchLru(*block);
+            touchOnHit(*block);
         }
         result.doneAt =
             bus_.writeWordThrough(pe_, ref.addr, wdata, now, ref.area);
@@ -285,9 +310,29 @@ PimCache::doWrite(const MemRef& ref, Word wdata, Cycles now)
         return result;
     }
     if (Block* block = findBlock(base)) {
-        touchLru(*block);
+        touchOnHit(*block);
         const bool shared =
             block->state == CacheState::S || block->state == CacheState::SM;
+        if (shared && proto_.updateOnSharedWrite) {
+            // Dragon: keep the sharers, broadcast the written word. Our
+            // copy becomes the dirty owner (Sm while sharers remain, M
+            // once we are alone). Seeded bug DragonUpdateSkipsSharers
+            // takes the block exclusive without the broadcast.
+            blockData(*block)[ref.addr - base] = wdata;
+            if (mutation_ == ProtocolMutation::DragonUpdateSkipsSharers) {
+                setState(*block, CacheState::EM, now + config_.hitCycles);
+                result.doneAt = now + config_.hitCycles;
+            } else {
+                const UpdateResult upd =
+                    bus_.updateWord(pe_, ref.addr, wdata, now, ref.area);
+                setState(*block,
+                         upd.sharerPresent ? CacheState::SM : CacheState::EM,
+                         upd.completeAt);
+                result.doneAt = upd.completeAt;
+            }
+            countAccess(ref, false);
+            return result;
+        }
         // Seeded bug WriteSharedSkipsInv: write the shared copy in place
         // without the I broadcast, leaving remote copies to diverge.
         if (shared &&
@@ -303,9 +348,13 @@ PimCache::doWrite(const MemRef& ref, Word wdata, Cycles now)
         countAccess(ref, false);
         return result;
     }
-    // Write miss: fetch-on-write with invalidation (FI).
+    // Write miss: fetch-on-write with invalidation (FI). Dragon instead
+    // fetches with plain F and, if another cache supplied (so sharers
+    // survive), broadcasts the written word to them.
+    const bool update_miss = proto_.updateOnSharedWrite;
     const FetchOutcome outcome =
-        fetchBlock(base, true, false, 0, true, nullptr, now, ref.area);
+        fetchBlock(base, !update_miss, false, 0, true, nullptr, now,
+                   ref.area);
     if (outcome.lockWait) {
         result.lockWait = true;
         result.waitAddr = base;
@@ -313,9 +362,20 @@ PimCache::doWrite(const MemRef& ref, Word wdata, Cycles now)
         return result;
     }
     Block& block = *outcome.block;
-    setState(block, CacheState::EM, outcome.doneAt);
-    blockData(block)[ref.addr - base] = wdata;
-    result.doneAt = outcome.doneAt;
+    if (update_miss && outcome.supplied &&
+        mutation_ != ProtocolMutation::DragonUpdateSkipsSharers) {
+        blockData(block)[ref.addr - base] = wdata;
+        const UpdateResult upd =
+            bus_.updateWord(pe_, ref.addr, wdata, outcome.doneAt, ref.area);
+        setState(block,
+                 upd.sharerPresent ? CacheState::SM : CacheState::EM,
+                 upd.completeAt);
+        result.doneAt = upd.completeAt;
+    } else {
+        setState(block, CacheState::EM, outcome.doneAt);
+        blockData(block)[ref.addr - base] = wdata;
+        result.doneAt = outcome.doneAt;
+    }
     countAccess(ref, true);
     return result;
 }
@@ -330,7 +390,7 @@ PimCache::doLockRead(const MemRef& ref, Cycles now)
     if (block != nullptr && cacheStateExclusive(block->state)) {
         // Zero-bus-cycle lock: the paper's key lock optimization.
         locks_.acquire(ref.addr, now + config_.hitCycles);
-        touchLru(*block);
+        touchOnHit(*block);
         result.data = blockData(*block)[ref.addr - base];
         result.doneAt = now + config_.hitCycles;
         countAccess(ref, false);
@@ -352,14 +412,14 @@ PimCache::doLockRead(const MemRef& ref, Cycles now)
             return result;
         }
         // If the invalidation dropped a dirty remote copy, its dirtiness
-        // migrates here; otherwise keep our own cleanliness.
-        if (block->state == CacheState::SM || inv.droppedDirty) {
-            setState(*block, CacheState::EM, inv.completeAt);
-        } else {
-            setState(*block, CacheState::EC, inv.completeAt);
-        }
+        // migrates here; otherwise keep our own cleanliness (MSI, with no
+        // EC state, always lands in EM).
+        setState(*block,
+                 proto_.upgradeToExclusive(cacheStateDirty(block->state),
+                                           inv.droppedDirty),
+                 inv.completeAt);
         locks_.acquire(ref.addr, inv.completeAt);
-        touchLru(*block);
+        touchOnHit(*block);
         result.data = blockData(*block)[ref.addr - base];
         result.doneAt = inv.completeAt;
         countAccess(ref, false);
@@ -379,8 +439,7 @@ PimCache::doLockRead(const MemRef& ref, Cycles now)
         return result;
     }
     Block& fetched = *outcome.block;
-    setState(fetched, outcome.supplierDirty ? CacheState::EM
-                                            : CacheState::EC,
+    setState(fetched, proto_.installOnExclusiveFetch(outcome.supplierDirty),
              outcome.doneAt);
     locks_.acquire(ref.addr, outcome.doneAt);
     result.data = blockData(fetched)[ref.addr - base];
@@ -405,7 +464,7 @@ PimCache::doUnlock(const MemRef& ref, bool write, Word wdata, Cycles now)
         if (block != nullptr) {
             blockData(*block)[ref.addr - base] = wdata;
             setState(*block, CacheState::EC, now);
-            touchLru(*block);
+            touchOnHit(*block);
         }
         when = bus_.writeWordThrough(pe_, ref.addr, wdata, now, ref.area);
     } else if (write) {
@@ -419,17 +478,27 @@ PimCache::doUnlock(const MemRef& ref, bool write, Word wdata, Cycles now)
                        "UW inhibited by a foreign lock in a block this PE "
                        "holds locked");
             block = outcome.block;
-            setState(*block, outcome.supplierDirty ? CacheState::EM
-                                                   : CacheState::EC,
+            setState(*block,
+                     proto_.installOnExclusiveFetch(outcome.supplierDirty),
                      outcome.doneAt);
             when = outcome.doneAt;
             miss = true;
         }
-        PIM_ASSERT(cacheStateExclusive(block->state),
-                   "locked block unexpectedly shared on UW");
+        if (!cacheStateExclusive(block->state)) {
+            // MSI only: with no EC state, a plain read that refetched
+            // the locked block installs S even though the lock
+            // inhibition guarantees we are the sole holder. Pay the
+            // upgrade broadcast a real MSI controller issues before
+            // the unlocking write.
+            PIM_ASSERT(!proto_.hasExclusiveClean,
+                       "locked block unexpectedly shared on UW");
+            const InvalidateResult inv =
+                bus_.invalidate(pe_, base, false, 0, when, ref.area);
+            when = inv.completeAt;
+        }
         setState(*block, CacheState::EM, when);
         blockData(*block)[ref.addr - base] = wdata;
-        touchLru(*block);
+        touchOnHit(*block);
     }
 
     bool had_waiter = locks_.release(ref.addr, when);
@@ -530,8 +599,8 @@ PimCache::doExclusiveRead(const MemRef& ref, Cycles now)
             return result;
         }
         Block& fetched = *outcome.block;
-        setState(fetched, outcome.supplierDirty ? CacheState::EM
-                                                : CacheState::EC,
+        setState(fetched,
+                 proto_.installOnExclusiveFetch(outcome.supplierDirty),
                  outcome.doneAt);
         result.data = blockData(fetched)[ref.addr - base];
         result.doneAt = outcome.doneAt;
@@ -600,7 +669,7 @@ PimCache::doReadInvalidate(const MemRef& ref, Cycles now)
         return result;
     }
     Block& block = *outcome.block;
-    setState(block, outcome.supplierDirty ? CacheState::EM : CacheState::EC,
+    setState(block, proto_.installOnExclusiveFetch(outcome.supplierDirty),
              outcome.doneAt);
     result.data = blockData(block)[ref.addr - base];
     result.doneAt = outcome.doneAt;
@@ -688,6 +757,11 @@ PimCache::snapshotState(Addr lo, Addr hi,
             out.push_back(words[w]);
     }
     locks_.snapshotState(out);
+    // The random policy's RNG decides future victims, so states that
+    // differ only in it must not merge. Appended only for that policy to
+    // keep the default snapshot (and protocol hashes) byte-identical.
+    if (config_.replacement == ReplacementKind::Random)
+        out.push_back(rngState_);
 }
 
 BusSnooper::FetchReply
@@ -708,12 +782,32 @@ PimCache::snoopFetch(Addr block_addr, bool invalidate, Word* data_out,
         return {true, was_dirty};
     }
 
-    if (config_.copybackOnShare && was_dirty) {
-        // Illinois-style baseline: shared memory snarfs the transfer, the
-        // block becomes clean everywhere (no SM state).
-        bus_.writeBackData(block_addr, blockData(*block));
-        setState(*block, CacheState::S, when);
-        return {true, false};
+    if (was_dirty) {
+        switch (proto_.dirtyShare) {
+          case DirtyShare::WritebackToMemory:
+            // MSI/MESI (and the Illinois-style copybackOnShare
+            // baseline): shared memory snarfs the transfer, the block
+            // becomes clean everywhere. Seeded bug
+            // MesiShareSkipsWriteback drops the snarf but still reports
+            // clean: everyone clean over stale memory.
+            if (mutation_ != ProtocolMutation::MesiShareSkipsWriteback)
+                bus_.writeBackData(block_addr, blockData(*block));
+            setState(*block, CacheState::S, when);
+            return {true, false};
+          case DirtyShare::KeepOwnership:
+            // MOESI/Dragon: stay the dirty owner (SM as O/Sm); the
+            // receiver installs clean S. Seeded bug MoesiOwnerDropsDirty
+            // downgrades to clean S instead, losing the only record that
+            // memory is stale.
+            if (mutation_ == ProtocolMutation::MoesiOwnerDropsDirty) {
+                setState(*block, CacheState::S, when);
+            } else {
+                setState(*block, CacheState::SM, when);
+            }
+            return {true, false};
+          case DirtyShare::MigrateToReceiver:
+            break; // PIM: fall through to the SM-migration share.
+        }
     }
 
     setState(*block, CacheState::S, when);
@@ -723,6 +817,21 @@ PimCache::snoopFetch(Addr block_addr, bool invalidate, Word* data_out,
     if (mutation_ == ProtocolMutation::SmSharedAsClean)
         return {true, false};
     return {true, was_dirty};
+}
+
+bool
+PimCache::snoopUpdate(Addr word_addr, Word value, Cycles when)
+{
+    const Addr base = blockBaseOf(word_addr);
+    Block* block = findBlock(base);
+    if (block == nullptr)
+        return false;
+    blockData(*block)[word_addr - base] = value;
+    // Dirty ownership migrates to the writer; every snarfing copy is
+    // clean shared (Dragon Sc) afterwards.
+    if (block->state != CacheState::S)
+        setState(*block, CacheState::S, when);
+    return true;
 }
 
 bool

@@ -23,6 +23,8 @@
 #include "cache/config.h"
 #include "cache/lock_directory.h"
 #include "cache/mutation.h"
+#include "cache/protocol.h"
+#include "cache/replacement.h"
 #include "cache/state.h"
 #include "common/types.h"
 #include "trace/ref.h"
@@ -128,6 +130,7 @@ class PimCache : public BusSnooper
     FetchReply snoopFetch(Addr block_addr, bool invalidate, Word* data_out,
                           Cycles when) override;
     bool snoopInvalidate(Addr block_addr, Cycles when) override;
+    bool snoopUpdate(Addr word_addr, Word value, Cycles when) override;
 
   private:
     struct Block {
@@ -152,6 +155,10 @@ class PimCache : public BusSnooper
     Word* blockData(const Block& block);
     const Word* blockData(const Block& block) const;
     void touchLru(Block& block);
+
+    /** Recency update on a hit: a no-op under FIFO (install-order only),
+     *  a touchLru under every other policy. */
+    void touchOnHit(Block& block);
 
     /** Pick the victim way in @p set (an INV way if any, else LRU). */
     Block& victimIn(std::uint32_t set);
@@ -196,6 +203,10 @@ class PimCache : public BusSnooper
     std::uint32_t blockShift_ = 0; ///< log2(geometry.blockWords).
     std::uint32_t setMask_ = 0;    ///< geometry.sets - 1.
     Bus& bus_;
+    /** The protocol variant's policy table (cache/protocol.h). */
+    CoherenceProtocol proto_;
+    /** Random-replacement RNG state (advances once per random victim). */
+    std::uint64_t rngState_ = 1;
     ProtocolMutation mutation_ = ProtocolMutation::None;
     FaultInjector* injector_ = nullptr;
     EventSink* sink_ = nullptr;

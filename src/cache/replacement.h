@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Pluggable replacement policy for the set-associative cache.
+ *
+ * The victim choice is INV-way-first in every policy (an empty way is
+ * always free); the policies differ in which *valid* way they evict:
+ *
+ *   lru    — least-recently-used: the per-block tick is refreshed on
+ *            every hit and install. This is the pre-refactor behavior
+ *            and the default (byte-identical).
+ *   fifo   — oldest-installed: the tick is written only at install, so
+ *            hits do not rejuvenate a block.
+ *   random — a seeded xorshift64 picks the way; deterministic for a
+ *            given seed, and the RNG state joins the protocol snapshot
+ *            so the conformance explorer never merges states that would
+ *            diverge on a future eviction.
+ */
+
+#ifndef PIMCACHE_CACHE_REPLACEMENT_H_
+#define PIMCACHE_CACHE_REPLACEMENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pim {
+
+/** Which valid way a full set evicts. */
+enum class ReplacementKind : std::uint8_t {
+    LRU = 0,    ///< Default; byte-identical to the pre-refactor cache.
+    FIFO = 1,   ///< Install-order eviction.
+    Random = 2, ///< Seeded xorshift64 way choice.
+};
+
+inline constexpr int kNumReplacementKinds = 3;
+
+/** Stable CLI name ("lru", "fifo", "random"). */
+inline const char*
+replacementKindName(ReplacementKind kind)
+{
+    switch (kind) {
+      case ReplacementKind::LRU:    return "lru";
+      case ReplacementKind::FIFO:   return "fifo";
+      case ReplacementKind::Random: return "random";
+    }
+    return "?";
+}
+
+/** Parse a CLI name; returns false if @p name is unknown. */
+inline bool
+parseReplacementKind(const std::string& name, ReplacementKind* out)
+{
+    for (int i = 0; i < kNumReplacementKinds; ++i) {
+        const auto kind = static_cast<ReplacementKind>(i);
+        if (name == replacementKindName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** One xorshift64 step (the random policy's generator). */
+inline std::uint64_t
+replacementRngNext(std::uint64_t state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+} // namespace pim
+
+#endif // PIMCACHE_CACHE_REPLACEMENT_H_

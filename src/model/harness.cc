@@ -20,6 +20,8 @@ makeSystemConfig(const HarnessConfig& config)
     sys.cache.geometry.ways = config.ways;
     sys.cache.geometry.sets = config.sets;
     sys.cache.lockEntries = config.lockEntries;
+    sys.cache.protocol = config.protocol;
+    sys.cache.replacement = config.replacement;
     sys.memoryWords =
         std::max<std::uint64_t>(config.spanWords(), config.blockWords);
     sys.snoopFilter = config.snoopFilter;
@@ -33,6 +35,7 @@ makeSystemConfig(const HarnessConfig& config)
 
 ConformanceHarness::ConformanceHarness(const HarnessConfig& config)
     : config_(config),
+      golden_(protocolGoldenTable(config.protocol)),
       ref_(config.numPes, config.blockWords,
            std::max<std::uint64_t>(config.spanWords(), config.blockWords),
            config.lockEntries),
@@ -262,25 +265,131 @@ ConformanceHarness::step(const ProtoCmd& cmd)
                     holder = q;
                 }
             }
+            if (holders == 0 &&
+                own.stateOf(base) != golden_.readMissFromMemory) {
+                throw PIM_SIM_FAULT(
+                    SimFaultKind::Protocol, ctx, ": a read miss served "
+                    "by memory must install ",
+                    cacheStateName(golden_.readMissFromMemory), " under ",
+                    protocolKindName(golden_.kind), " (got ",
+                    cacheStateName(own.stateOf(base)), "); ",
+                    describeBlockState(sys_, base));
+            }
             if (holders == 1 && cacheStateDirty(pre_state[holder])) {
-                if (own.stateOf(base) != CacheState::SM) {
+                if (own.stateOf(base) != golden_.readMissDirtySupplied) {
                     throw PIM_SIM_FAULT(
                         SimFaultKind::Protocol, ctx, ": a read miss "
-                        "supplied by the single dirty copy must install "
-                        "SM (got ", cacheStateName(own.stateOf(base)),
+                        "supplied by the single dirty copy must install ",
+                        cacheStateName(golden_.readMissDirtySupplied),
+                        " under ", protocolKindName(golden_.kind),
+                        " (got ", cacheStateName(own.stateOf(base)),
+                        "); ", describeBlockState(sys_, base));
+                }
+                if (sys_.cache(holder).stateOf(base) !=
+                    golden_.dirtySupplierAfterShare) {
+                    throw PIM_SIM_FAULT(
+                        SimFaultKind::Protocol, ctx, ": the dirty "
+                        "supplier must be left in ",
+                        cacheStateName(golden_.dirtySupplierAfterShare),
+                        " under ", protocolKindName(golden_.kind),
+                        " (got ",
+                        cacheStateName(sys_.cache(holder).stateOf(base)),
                         "); ", describeBlockState(sys_, base));
                 }
                 const std::uint64_t mem_writes =
                     sys_.bus().stats().memoryWrites - pre_bus.memoryWrites;
                 const std::uint64_t swapouts =
                     own.stats().swapOuts - pre_swapouts;
-                if (mem_writes != swapouts) {
+                if (mem_writes != swapouts + golden_.dirtySupplyMemWrites) {
                     throw PIM_SIM_FAULT(
                         SimFaultKind::Protocol, ctx, ": a dirty "
-                        "cache-to-cache supply must not write memory "
-                        "back (the point of SM), yet ",
-                        mem_writes - swapouts,
-                        " memory writes are unaccounted for; ",
+                        "cache-to-cache supply must add exactly ",
+                        golden_.dirtySupplyMemWrites,
+                        " memory write(s) under ",
+                        protocolKindName(golden_.kind), " but added ",
+                        mem_writes - swapouts, "; ",
+                        describeBlockState(sys_, base));
+                }
+            }
+        }
+        if (cmd.op == MemOp::W &&
+            (pre_state[cmd.pe] == CacheState::S ||
+             pre_state[cmd.pe] == CacheState::SM)) {
+            std::uint32_t pre_holders = 0;
+            for (PeId q = 0; q < config_.numPes; ++q) {
+                if (q != cmd.pe && pre_state[q] != CacheState::INV)
+                    pre_holders += 1;
+            }
+            const std::uint64_t inv_delta =
+                sys_.bus().stats().transByPattern[static_cast<int>(
+                    BusPattern::Invalidate)] -
+                pre_bus.transByPattern[static_cast<int>(
+                    BusPattern::Invalidate)];
+            const std::uint64_t upd_delta =
+                sys_.bus().stats().transByPattern[static_cast<int>(
+                    BusPattern::WordUpdate)] -
+                pre_bus.transByPattern[static_cast<int>(
+                    BusPattern::WordUpdate)];
+            if (golden_.updateOnSharedWrite) {
+                // Dragon: one word-update broadcast, no invalidation,
+                // sharers survive, writer owns (Sm with sharers, M alone).
+                if (upd_delta != 1 || inv_delta != 0) {
+                    throw PIM_SIM_FAULT(
+                        SimFaultKind::Protocol, ctx, ": a shared-hit "
+                        "write under dragon must cost exactly one "
+                        "word-update and no invalidation (got ",
+                        upd_delta, " update(s), ", inv_delta,
+                        " invalidation(s)); ",
+                        describeBlockState(sys_, base));
+                }
+                for (PeId q = 0; q < config_.numPes; ++q) {
+                    if (q != cmd.pe && pre_state[q] != CacheState::INV &&
+                        sys_.cache(q).stateOf(base) != CacheState::S) {
+                        throw PIM_SIM_FAULT(
+                            SimFaultKind::Protocol, ctx, ": pe", q,
+                            " must survive a dragon shared write as a "
+                            "clean sharer (got ",
+                            cacheStateName(sys_.cache(q).stateOf(base)),
+                            "); ", describeBlockState(sys_, base));
+                    }
+                }
+                const CacheState want = pre_holders > 0 ? CacheState::SM
+                                                        : CacheState::EM;
+                if (own.stateOf(base) != want) {
+                    throw PIM_SIM_FAULT(
+                        SimFaultKind::Protocol, ctx, ": a dragon shared "
+                        "write must leave the writer in ",
+                        cacheStateName(want), " (got ",
+                        cacheStateName(own.stateOf(base)), "); ",
+                        describeBlockState(sys_, base));
+                }
+            } else {
+                // Invalidation protocols: one I broadcast, remote copies
+                // drop, writer lands in EM.
+                if (inv_delta != 1 || upd_delta != 0) {
+                    throw PIM_SIM_FAULT(
+                        SimFaultKind::Protocol, ctx, ": a shared-hit "
+                        "write under ", protocolKindName(golden_.kind),
+                        " must cost exactly one invalidation (got ",
+                        inv_delta, " invalidation(s), ", upd_delta,
+                        " update(s)); ", describeBlockState(sys_, base));
+                }
+                for (PeId q = 0; q < config_.numPes; ++q) {
+                    if (q != cmd.pe &&
+                        sys_.cache(q).stateOf(base) != CacheState::INV) {
+                        throw PIM_SIM_FAULT(
+                            SimFaultKind::Protocol, ctx, ": pe", q,
+                            " must lose its copy on a remote shared "
+                            "write (got ",
+                            cacheStateName(sys_.cache(q).stateOf(base)),
+                            "); ", describeBlockState(sys_, base));
+                    }
+                }
+                if (own.stateOf(base) != CacheState::EM) {
+                    throw PIM_SIM_FAULT(
+                        SimFaultKind::Protocol, ctx, ": a shared-hit "
+                        "write must leave the writer in EM (got ",
+                        cacheStateName(own.stateOf(base)), "); ",
                         describeBlockState(sys_, base));
                 }
             }

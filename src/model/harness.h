@@ -29,7 +29,10 @@
 #include <vector>
 
 #include "cache/mutation.h"
+#include "cache/protocol.h"
+#include "cache/replacement.h"
 #include "model/command.h"
+#include "model/protocol_model.h"
 #include "model/ref_machine.h"
 #include "obs/attribution.h"
 #include "sim/system.h"
@@ -61,6 +64,14 @@ struct HarnessConfig {
      */
     std::uint32_t clusterSize = 0;
     std::uint32_t hopCycles = 4;
+    /**
+     * Protocol variant under conformance (the zoo, cache/protocol.h).
+     * The RefMachine's architectural semantics are protocol-independent;
+     * the per-variant golden claims come from protocolGoldenTable().
+     */
+    ProtocolKind protocol = ProtocolKind::PIM;
+    /** Replacement policy under conformance. */
+    ReplacementKind replacement = ReplacementKind::LRU;
 
     /** The explored address span is [0, spanWords()). */
     Addr
@@ -141,6 +152,8 @@ class ConformanceHarness
     bool lockWaitSafe(const ProtoCmd& cmd) const;
 
     HarnessConfig config_;
+    /** Golden per-variant claims for the Divergence-5 checks. */
+    ProtocolGoldenTable golden_;
     RefMachine ref_;
     System sys_;
     AttributionEngine attribution_; ///< Always-on bucket-sum cross-check.

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-variant golden semantics for the protocol zoo (docs/TESTING.md).
+ *
+ * The RefMachine checks *architectural* semantics (values, locks,
+ * defined-ness) and is deliberately protocol-independent: every variant
+ * must produce the same program results. What differs per variant is the
+ * *coherence shape* of each transition — which state a miss installs,
+ * what a dirty supplier does — and the lock-step harness claims
+ * (Divergence 5) check those against this table, mirroring the
+ * controller-side CoherenceProtocol (src/cache/protocol.h) from an
+ * independently written spec so a bug in one is caught by the other.
+ *
+ *   kind    R miss from memory   R miss from dirty supplier   supplier after   mem writes
+ *   pim     EC                   SM (dirtiness migrates)      S                0
+ *   msi     S  (no EC state)     S  (supplier wrote back)     S                1
+ *   mesi    EC                   S  (supplier wrote back)     S                1
+ *   moesi   EC                   S  (supplier keeps O)        SM               0
+ *   dragon  EC                   S  (supplier keeps Sm)       SM               0
+ *
+ * Dragon additionally replaces the shared-write I broadcast with a
+ * word-update broadcast (updateOnSharedWrite): sharers survive a remote
+ * write and snarf the word, and the writer lands in SM while sharers
+ * remain (EM once alone).
+ */
+
+#ifndef PIMCACHE_MODEL_PROTOCOL_MODEL_H_
+#define PIMCACHE_MODEL_PROTOCOL_MODEL_H_
+
+#include <cstdint>
+
+#include "cache/protocol.h"
+#include "cache/state.h"
+
+namespace pim {
+
+/** The harness-side golden claims for one protocol variant. */
+struct ProtocolGoldenTable {
+    ProtocolKind kind = ProtocolKind::PIM;
+    /** State a plain read miss served by memory must install. */
+    CacheState readMissFromMemory = CacheState::EC;
+    /** State a plain read miss served by a dirty supplier must install. */
+    CacheState readMissDirtySupplied = CacheState::SM;
+    /** State the dirty supplier must be left in after the share. */
+    CacheState dirtySupplierAfterShare = CacheState::S;
+    /** Memory writes the dirty share itself must add (the MSI/MESI
+     *  write-back; PIM/MOESI/Dragon never touch memory on a share). */
+    std::uint64_t dirtySupplyMemWrites = 0;
+    /** Shared writes broadcast the word instead of invalidating. */
+    bool updateOnSharedWrite = false;
+};
+
+/** The golden table for @p kind. */
+inline ProtocolGoldenTable
+protocolGoldenTable(ProtocolKind kind)
+{
+    ProtocolGoldenTable table;
+    table.kind = kind;
+    switch (kind) {
+      case ProtocolKind::PIM:
+        break;
+      case ProtocolKind::MSI:
+        table.readMissFromMemory = CacheState::S;
+        table.readMissDirtySupplied = CacheState::S;
+        table.dirtySupplyMemWrites = 1;
+        break;
+      case ProtocolKind::MESI:
+        table.readMissDirtySupplied = CacheState::S;
+        table.dirtySupplyMemWrites = 1;
+        break;
+      case ProtocolKind::MOESI:
+        table.readMissDirtySupplied = CacheState::S;
+        table.dirtySupplierAfterShare = CacheState::SM;
+        break;
+      case ProtocolKind::Dragon:
+        table.readMissDirtySupplied = CacheState::S;
+        table.dirtySupplierAfterShare = CacheState::SM;
+        table.updateOnSharedWrite = true;
+        break;
+    }
+    return table;
+}
+
+} // namespace pim
+
+#endif // PIMCACHE_MODEL_PROTOCOL_MODEL_H_

@@ -55,6 +55,7 @@ busBucketName(BusBucket bucket)
       case BusBucket::LockTraffic:  return "lock-traffic";
       case BusBucket::WordWrite:    return "word-write";
       case BusBucket::InterCluster: return "inter-cluster";
+      case BusBucket::UpdateTraffic: return "update";
     }
     return "?";
 }
@@ -153,6 +154,9 @@ AttributionEngine::onBusTransaction(const BusTxnEvent& event)
         break;
       case BusPattern::WordWrite:
         bucket = BusBucket::WordWrite;
+        break;
+      case BusPattern::WordUpdate:
+        bucket = BusBucket::UpdateTraffic;
         break;
     }
     transByBucket_[static_cast<int>(bucket)] += 1;
@@ -583,7 +587,7 @@ AttributionEngine::report(std::size_t top_n) const
 
     Table by_op("bus cycles by in-flight operation");
     by_op.setHeader({"op", "fill", "c2c", "copyback", "inval", "lock",
-                     "word-wr", "x-clu", "total"});
+                     "word-wr", "x-clu", "update", "total"});
     for (int o = 0; o <= kNumMemOps; ++o) {
         Cycles row_total = 0;
         for (int b = 0; b < kNumBusBuckets; ++b)
@@ -596,7 +600,8 @@ AttributionEngine::report(std::size_t top_n) const
                       u64(opCycles_[o][0]), u64(opCycles_[o][1]),
                       u64(opCycles_[o][2]), u64(opCycles_[o][3]),
                       u64(opCycles_[o][4]), u64(opCycles_[o][5]),
-                      u64(opCycles_[o][6]), u64(row_total)});
+                      u64(opCycles_[o][6]), u64(opCycles_[o][7]),
+                      u64(row_total)});
     }
     out << by_op.toString() << "\n";
 

@@ -79,9 +79,11 @@ enum class BusBucket : std::uint8_t {
      * base bucket, so it contributes no transaction count.
      */
     InterCluster = 6,
+    /** Dragon word-update broadcasts (shared-write update traffic). */
+    UpdateTraffic = 7,
 };
 
-inline constexpr int kNumBusBuckets = 7;
+inline constexpr int kNumBusBuckets = 8;
 
 /** Short lowercase bucket name. */
 const char* busBucketName(BusBucket bucket);

@@ -160,6 +160,7 @@ busPatternCost(BusPattern pattern, const BusTiming& timing)
       case BusPattern::Unlock:         return timing.unlockCycles();
       case BusPattern::LockReject:     return timing.lockRejectCycles();
       case BusPattern::WordWrite:      return timing.wordWriteCycles();
+      case BusPattern::WordUpdate:     return timing.wordUpdateCycles();
     }
     return 0;
 }
