@@ -23,6 +23,7 @@
  *   pim_perf [--pes=N] [--scale=N] [--reps=N] [--smoke]
  *            [--cluster-size=N] [--hop-cycles=N]
  *            [--min-speedup=X] [--json=PATH] [--attribution-out=PATH]
+ *            [--par-jobs=N] [--min-par-speedup=X] [--min-par-local-frac=X]
  *
  * --cluster-size=N partitions the PEs into per-cluster snooping buses
  * with an inter-cluster directory (docs/ARCHITECTURE.md); 0 keeps the
@@ -38,6 +39,20 @@
  * below X. --smoke shrinks the grid for CI, where wall-clock ratios on
  * loaded machines are noise — it checks the exactness invariants and the
  * JSON schema, not the speedup.
+ *
+ * --par-jobs=N adds the parallel discrete-event core section
+ * (docs/ARCHITECTURE.md "Threading model"): per PE point it drives the
+ * same independent-stream workload twice — on the serialized core
+ * (jobs=1) and on the concurrent core with N worker threads — and
+ * reports refs/sec for both, the parallel speedup, and the local
+ * fraction (the share of references the concurrent path executed
+ * between bus epochs — the machine-independent parallelism metric).
+ * Determinism gate: fingerprint, makespan, bus transactions and
+ * protocol hash must be byte-identical between the two runs; any
+ * mismatch exits 1. --min-par-speedup=X gates the largest point's
+ * wall-clock speedup (meaningless on single-core CI hosts);
+ * --min-par-local-frac=X gates the deterministic local fraction
+ * instead, which holds on any host.
  */
 
 #include <algorithm>
@@ -53,6 +68,8 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "obs/attribution.h"
+#include "sim/par_workload.h"
+#include "sim/parallel_core.h"
 #include "sim/system.h"
 
 using namespace pim;
@@ -310,6 +327,71 @@ runWorkload(std::uint32_t pes, std::uint64_t steps, bool filter,
     return m;
 }
 
+/** One parallel-core run's observables. */
+struct ParMeasurement {
+    double seconds = 0;             ///< Best wall time over the reps.
+    std::uint64_t completed = 0;    ///< References completed.
+    std::uint64_t localRefs = 0;    ///< Concurrent private-hit refs.
+    std::uint64_t epochs = 0;       ///< Epoch-gate rendezvous.
+    std::uint64_t fingerprint = 0;  ///< Jobs-invariant run fingerprint.
+    std::uint64_t makespan = 0;
+    std::uint64_t busTrans = 0;
+    std::uint64_t protoHash = 0;
+    std::uint64_t interCluster = 0;
+    bool serialized = false;
+};
+
+/**
+ * Drive the per-PE independent-stream workload (ParWorkloadSource)
+ * through runParallelCore with @p jobs workers, repeated @p reps times;
+ * keeps the fastest wall time. Non-timing observables are a pure
+ * function of the seed and must be identical for any jobs count — the
+ * caller enforces that.
+ */
+ParMeasurement
+runParCore(std::uint32_t pes, std::uint64_t steps_total, unsigned jobs,
+           std::uint32_t reps, const ParShape& base_shape,
+           const ClusterConfig& cluster)
+{
+    ParMeasurement m;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+        ParShape shape = base_shape;
+        shape.stepsPerPe = std::max<std::uint64_t>(1, steps_total / pes);
+        SystemConfig sys_config;
+        sys_config.numPes = pes;
+        sys_config.cluster = cluster;
+        ParWorkloadSource source(shape, pes,
+                                 sys_config.cache.geometry.blockWords);
+        sys_config.memoryWords = source.memoryWords();
+        sys_config.validate();
+        System system(sys_config);
+
+        ParallelCoreOptions options;
+        options.jobs = jobs;
+        const auto start = std::chrono::steady_clock::now();
+        const ParallelRunResult result =
+            runParallelCore(system, source, options);
+        const auto stop = std::chrono::steady_clock::now();
+
+        const double seconds =
+            std::chrono::duration<double>(stop - start).count();
+        if (rep == 0 || seconds < m.seconds)
+            m.seconds = seconds;
+        m.completed = result.completedRefs;
+        m.localRefs = result.localRefs;
+        m.epochs = result.epochs;
+        m.fingerprint = result.fingerprint;
+        m.serialized = result.serialized;
+        m.makespan = system.makespan();
+        m.busTrans = 0;
+        for (int p = 0; p < kNumBusPatterns; ++p)
+            m.busTrans += system.bus().stats().transByPattern[p];
+        m.protoHash = system.protocolHash(0, sys_config.memoryWords);
+        m.interCluster = system.bus().stats().interClusterCycles;
+    }
+    return m;
+}
+
 std::string
 hex(std::uint64_t v)
 {
@@ -450,6 +532,8 @@ perfMain(int argc, char** argv)
             json.set("bus_transactions", m.busTrans);
             json.set("fingerprint", hex(m.fingerprint));
             json.set("speedup_vs_unfiltered", filtered ? speedup : 1.0);
+            json.set("par_jobs", 0);
+            json.set("speedup_vs_seq", 1.0);
             json.set("cluster_size", cluster.clusterSize);
             json.set("hop_cycles", cluster.hopCycles);
             json.set("inter_cluster_cycles", m.interCluster);
@@ -467,6 +551,128 @@ perfMain(int argc, char** argv)
                     "--min-speedup=%.2f gate\n",
                     last_speedup, pe_points.back(), min_speedup);
         ++failures;
+    }
+
+    // Parallel discrete-event core section (--par-jobs=N).
+    const unsigned par_jobs = static_cast<unsigned>(
+        ctx.options.getInt("par-jobs", 0));
+    if (par_jobs >= 1) {
+        const double min_par_speedup = std::strtod(
+            ctx.options.getString("min-par-speedup", "0").c_str(),
+            nullptr);
+        const double min_par_local_frac = std::strtod(
+            ctx.options.getString("min-par-local-frac", "0").c_str(),
+            nullptr);
+        ParShape par_shape;
+        par_shape.sharedPct = static_cast<std::uint32_t>(
+            ctx.options.getInt("par-shared-pct", par_shape.sharedPct));
+        par_shape.lockPct = static_cast<std::uint32_t>(
+            ctx.options.getInt("par-lock-pct", par_shape.lockPct));
+        par_shape.optPct = static_cast<std::uint32_t>(
+            ctx.options.getInt("par-opt-pct", par_shape.optPct));
+
+        std::printf("\nparallel core: serialized vs %u jobs "
+                    "(docs/ARCHITECTURE.md \"Threading model\")\n",
+                    par_jobs);
+        Table par_table("measured: refs/sec, serialized vs parallel "
+                        "(identical runs)");
+        par_table.setHeader({"PEs", "local%", "epochs", "refs/s seq",
+                             "refs/s par", "speedup"});
+
+        double last_par_speedup = 0;
+        double last_local_frac = 0;
+        for (std::uint32_t pes : pe_points) {
+            const ParMeasurement seq =
+                runParCore(pes, steps, 1, reps, par_shape, cluster);
+            const ParMeasurement par =
+                runParCore(pes, steps, par_jobs, reps, par_shape,
+                           cluster);
+
+            // Determinism gate: the jobs count must not change a single
+            // observable (the issue's identical-results contract).
+            if (seq.fingerprint != par.fingerprint ||
+                seq.makespan != par.makespan ||
+                seq.busTrans != par.busTrans ||
+                seq.protoHash != par.protoHash ||
+                seq.interCluster != par.interCluster ||
+                seq.completed != par.completed) {
+                std::printf(
+                    "FAIL: parallel core diverged at %u PEs, %u jobs "
+                    "(fingerprint %s vs %s, makespan %llu vs %llu, "
+                    "bus %llu vs %llu, proto %s vs %s)\n",
+                    pes, par_jobs, hex(seq.fingerprint).c_str(),
+                    hex(par.fingerprint).c_str(),
+                    static_cast<unsigned long long>(seq.makespan),
+                    static_cast<unsigned long long>(par.makespan),
+                    static_cast<unsigned long long>(seq.busTrans),
+                    static_cast<unsigned long long>(par.busTrans),
+                    hex(seq.protoHash).c_str(),
+                    hex(par.protoHash).c_str());
+                ++failures;
+                continue;
+            }
+
+            const double total_refs = static_cast<double>(seq.completed);
+            const double rps_seq = total_refs / seq.seconds;
+            const double rps_par = total_refs / par.seconds;
+            const double par_speedup = rps_par / rps_seq;
+            const double local_frac =
+                par.completed == 0
+                    ? 0.0
+                    : static_cast<double>(par.localRefs) /
+                          static_cast<double>(par.completed);
+            last_par_speedup = par_speedup;
+            last_local_frac = local_frac;
+
+            par_table.addRow(
+                {std::to_string(pes), fmt("%.1f%%", 100.0 * local_frac),
+                 std::to_string(par.epochs), fmt("%.0f", rps_seq),
+                 fmt("%.0f", rps_par), fmt("%.2fx", par_speedup)});
+
+            for (int mode = 0; mode < 2; ++mode) {
+                const bool parallel = mode == 1;
+                const ParMeasurement& m = parallel ? par : seq;
+                json.row();
+                json.set("bench", "par-core");
+                json.set("pes_point", pes);
+                json.set("mode", parallel ? "par-core" : "seq-core");
+                json.set("refs", m.completed);
+                json.set("wall_seconds", m.seconds);
+                json.set("refs_per_sec", total_refs / m.seconds);
+                json.set("cycles_per_ref",
+                         static_cast<double>(m.makespan) / total_refs);
+                json.set("bus_transactions", m.busTrans);
+                json.set("fingerprint", hex(m.fingerprint));
+                json.set("speedup_vs_unfiltered", 1.0);
+                json.set("par_jobs", parallel ? par_jobs : 1);
+                json.set("speedup_vs_seq", parallel ? par_speedup : 1.0);
+                json.set("local_frac", parallel ? local_frac : 0.0);
+                json.set("epochs", m.epochs);
+                json.set("cluster_size", cluster.clusterSize);
+                json.set("hop_cycles", cluster.hopCycles);
+                json.set("inter_cluster_cycles", m.interCluster);
+            }
+        }
+
+        std::printf("%s\n", par_table.toString().c_str());
+        std::printf("observables identical between the serialized and "
+                    "%u-job runs at every point\n", par_jobs);
+
+        if (min_par_speedup > 0 && last_par_speedup < min_par_speedup) {
+            std::printf("FAIL: parallel speedup %.2fx at %u PEs is below "
+                        "the --min-par-speedup=%.2f gate\n",
+                        last_par_speedup, pe_points.back(),
+                        min_par_speedup);
+            ++failures;
+        }
+        if (min_par_local_frac > 0 &&
+            last_local_frac < min_par_local_frac) {
+            std::printf("FAIL: local fraction %.3f at %u PEs is below "
+                        "the --min-par-local-frac=%.3f gate\n",
+                        last_local_frac, pe_points.back(),
+                        min_par_local_frac);
+            ++failures;
+        }
     }
 
     const std::string attribution_out =

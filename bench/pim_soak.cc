@@ -139,6 +139,10 @@ usage()
         "  --pes=N             PEs per cell (default: 4)\n"
         "  --seed=N            campaign base seed (default: 1)\n"
         "  --jobs=N            worker threads (default: hardware)\n"
+        "  --par-jobs=N        parallel-core jobs inside each cell; a\n"
+        "                      stress cell always runs serialized-epoch,\n"
+        "                      so outcomes are identical for any value\n"
+        "                      (docs/ROBUSTNESS.md)\n"
         "  --timeout=SECS      per-cell wall-clock budget (default: 60)\n"
         "  --out=DIR           write CAMPAIGN.json here (default: none)\n"
         "  --list              print the plan grid and exit\n");
@@ -146,7 +150,7 @@ usage()
 
 const char* const kKnownFlags[] = {
     "smoke", "seeds", "steps", "pes", "seed", "jobs", "timeout", "out",
-    "list", "help",
+    "list", "help", "par-jobs",
 };
 
 bool
@@ -248,6 +252,8 @@ main(int argc, char** argv)
             opts.getInt("steps", smoke ? 6000 : 20000));
         const auto pes =
             static_cast<std::uint32_t>(opts.getInt("pes", 4));
+        const auto par_jobs =
+            static_cast<std::uint32_t>(opts.getInt("par-jobs", 0));
 
         if (opts.getBool("list")) {
             for (std::size_t p = 0; p < num_plans; ++p) {
@@ -280,6 +286,12 @@ main(int argc, char** argv)
             experiment.base.set("pes", ParamValue::ofNumber(pes));
             experiment.base.set("lockPct",
                                 ParamValue::ofNumber(plans[p].lockPct));
+            // Only when asked, so default campaign rows stay
+            // byte-identical (the param lands in each row's JSON).
+            if (par_jobs != 0) {
+                experiment.base.set("parJobs",
+                                    ParamValue::ofNumber(par_jobs));
+            }
             if (plans[p].spec[0] != '\0')
                 experiment.base.set("plan",
                                     ParamValue::ofText(plans[p].spec));

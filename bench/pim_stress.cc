@@ -65,6 +65,12 @@ usage()
         "  --seeds=N           batch: run seeds SEED..SEED+N-1 (default 1)\n"
         "  --jobs=N            batch worker threads (default: hardware);\n"
         "                      results are identical for any value\n"
+        "  --par-jobs=N        parallel-core jobs for the drive loop; a\n"
+        "                      stress run always degrades to the\n"
+        "                      serialized-epoch mode, so results are\n"
+        "                      bit-identical for any value and fault\n"
+        "                      sites fire at epoch boundaries\n"
+        "                      (docs/ROBUSTNESS.md)\n"
         "  --replay            marker flag printed in replay lines; a\n"
         "                      stress run is a pure function of its flags\n");
 }
@@ -76,7 +82,7 @@ const char* const kKnownFlags[] = {
     "no-audit",   "expect-fault",
     "replay",     "help",       "starvation-bound", "livelock-retries",
     "seeds",      "jobs",       "no-snoop-filter", "timeout",
-    "cluster-size", "hop-cycles",
+    "cluster-size", "hop-cycles", "par-jobs",
 };
 
 /**
@@ -149,6 +155,8 @@ main(int argc, char** argv)
         config.hopCycles =
             static_cast<std::uint32_t>(opts.getInt("hop-cycles", 4));
         config.timeoutSeconds = opts.getDouble("timeout", 0);
+        config.parJobs =
+            static_cast<std::uint32_t>(opts.getInt("par-jobs", 0));
         config.watchdog.starvationBound = static_cast<std::uint64_t>(
             opts.getInt("starvation-bound", 100000));
         config.watchdog.livelockRetries = static_cast<std::uint32_t>(

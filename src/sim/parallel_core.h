@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Parallel discrete-event core: concurrent PEs with deterministic
+ * bus-epoch rendezvous (docs/ARCHITECTURE.md, "Threading model").
+ *
+ * The sequential drivers step one PE at a time in (clock, pe) order, so
+ * a single simulation is capped by one host core even though PEs only
+ * interact at bus transactions. This core exploits that independence:
+ * between bus transactions, PEs advance concurrently through their
+ * private cache hits (System::accessLocalHit), and rendezvous at *bus
+ * epochs* — an EpochGate barrier whose last arriver becomes the epoch
+ * leader, executes every due bus transaction in exact (clock, pe)
+ * lexicographic order, and publishes the next epoch's key limit: the
+ * smallest key at which any PE could issue its next bus transaction.
+ * Private hits with keys below the limit cannot be affected by (or
+ * affect) any future bus transaction, so running them concurrently is
+ * indistinguishable from the sequential interleaving.
+ *
+ * Determinism: for any jobs count the core executes the exact same
+ * operation sequence per PE and the exact same global order of bus
+ * transactions as the sequential loop, so fingerprint, makespan,
+ * busTransactions and protocolHash are all byte-identical — enforced by
+ * pim_perf --par-jobs, pim_conform --par-fuzz and the `par` test label.
+ *
+ * When the run must be observed in global order (access observers,
+ * event sinks, a reference observer or a fault injector attached), when
+ * the source's streams are not PE-independent, or when jobs <= 1, the
+ * core degrades to a serialized-epoch mode: a single inline loop that
+ * reproduces the legacy driver order bit-for-bit (every operation is
+ * its own epoch). Fault-injection campaigns therefore compose with any
+ * --par-jobs setting without perturbing seed replay
+ * (docs/ROBUSTNESS.md).
+ */
+
+#ifndef PIMCACHE_SIM_PARALLEL_CORE_H_
+#define PIMCACHE_SIM_PARALLEL_CORE_H_
+
+#include <cstdint>
+
+#include "sim/system.h"
+#include "trace/ref.h"
+
+namespace pim {
+
+/** One operation pulled from a RefSource. */
+struct ParOp {
+    MemOp op = MemOp::R;
+    Addr addr = 0;
+    Area area = Area::Unknown;
+    Word wdata = 0;
+};
+
+/**
+ * Per-PE operation stream consumed by the parallel core.
+ *
+ * Contract for independent() == true sources (the concurrent mode):
+ *  - next()/complete() for one PE are never called concurrently with
+ *    each other, but different PEs' calls may run on different threads;
+ *    per-PE generation state must not be shared across PEs.
+ *  - next(pe) may be called a bounded number of operations ahead of the
+ *    corresponding complete(pe) calls (prefetch into the epoch buffer),
+ *    so generation must not depend on the completion data of in-flight
+ *    operations. The core never pulls past a pending lock operation
+ *    (LR/UW/U), so lock-dependent generation state (what this PE
+ *    currently holds) may be consulted freely.
+ *
+ * independent() == false sources (e.g. the stress driver's single
+ * shared RNG) run on the serialized-epoch path, which pulls exactly one
+ * operation at a time, always for the (clock, pe)-minimal PE, after
+ * selecting it — the legacy driver order, bit for bit.
+ */
+class RefSource
+{
+  public:
+    virtual ~RefSource() = default;
+
+    /**
+     * Produce @p pe's next operation. Returning false ends @p pe's
+     * stream permanently (the core never asks again). A lock-rejected
+     * operation is retried by the core without a new pull.
+     */
+    virtual bool next(PeId pe, ParOp* out) = 0;
+
+    /** @p op completed for @p pe with read data @p data. */
+    virtual void
+    complete(PeId pe, const ParOp& op, Word data)
+    {
+        (void)pe; (void)op; (void)data;
+    }
+
+    /** True when per-PE streams are generation-independent (see above). */
+    virtual bool independent() const { return true; }
+
+    /**
+     * Every unfinished PE is parked on a lock: the workload deadlocked.
+     * The default panics; harnesses with a lock watchdog override this
+     * to report the stall (and throw their own diagnosis).
+     */
+    virtual void onStall();
+};
+
+/** Tuning/selection knobs for runParallelCore. */
+struct ParallelCoreOptions {
+    /** Worker threads (including the calling thread). <= 1: serialized. */
+    unsigned jobs = 1;
+    /** Per-PE operation prefetch depth (concurrent mode only). */
+    std::uint32_t pullDepth = 64;
+};
+
+/** Outcome of a parallel-core run. */
+struct ParallelRunResult {
+    /** Completed references, summed over PEs. */
+    std::uint64_t completedRefs = 0;
+    /** References executed on the concurrent private-hit path. */
+    std::uint64_t localRefs = 0;
+    /** Epoch-gate rendezvous completed (0 in serialized mode). */
+    std::uint64_t epochs = 0;
+    /** Bus transactions + retries executed in leader serial phases. */
+    std::uint64_t serialActions = 0;
+    /**
+     * Jobs-invariant run fingerprint: per-PE splitmix64 chains over
+     * (op, addr, data) in program order, folded in PE order. Identical
+     * for any jobs count and for the serialized mode.
+     */
+    std::uint64_t fingerprint = 0;
+    /** True when the run used the serialized-epoch mode. */
+    bool serialized = false;
+};
+
+/**
+ * True when runParallelCore would use the serialized-epoch mode for
+ * this system/source/options combination (see file comment).
+ */
+bool parallelCoreSerialized(const System& system, const RefSource& source,
+                            const ParallelCoreOptions& options);
+
+/**
+ * Drive @p system with @p source until every PE's stream ends. Lock
+ * waits are retried transparently. On return the per-PE RefStats
+ * shards are merged into system.refStats(), so reports see exactly the
+ * sequential counters.
+ */
+ParallelRunResult runParallelCore(System& system, RefSource& source,
+                                  const ParallelCoreOptions& options);
+
+} // namespace pim
+
+#endif // PIMCACHE_SIM_PARALLEL_CORE_H_

@@ -11,6 +11,7 @@
 #include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
+#include "sim/parallel_core.h"
 #include "sim/system.h"
 #include "trace/trace_file.h"
 #include "verify/coherence_auditor.h"
@@ -31,11 +32,150 @@ mix(std::uint64_t h, std::uint64_t v)
 
 /** One PE's driver state. */
 struct PeState {
-    bool hasRetry = false;
-    MemOp retryOp = MemOp::R;
-    Addr retryAddr = 0;
-    Word retryData = 0;
     std::deque<Addr> heldLocks; ///< Acquired lock words, oldest first.
+};
+
+/**
+ * The stress workload as a parallel-core RefSource. Every random
+ * decision draws from ONE shared RNG in global simulation order, so
+ * independent() is false and the core runs its serialized-epoch mode:
+ * next() is called for the (clock, pe)-minimal PE only after selecting
+ * it, reproducing the legacy drive loop bit for bit. Lock-rejected
+ * operations are retried by the core without a new pull, exactly like
+ * the legacy retry slots.
+ *
+ * Two phases, switched on the global completion counter just as the
+ * legacy loop switched between its main and drain loops: the main phase
+ * generates traffic until config.steps references completed; the drain
+ * phase releases held locks (plain U, no RNG draws) and ends each PE's
+ * stream, so every parked PE is woken before teardown. The run
+ * fingerprint covers exactly the main-phase completions.
+ */
+class GlobalStressSource : public RefSource
+{
+  public:
+    GlobalStressSource(const StressConfig& config, const System& system,
+                       LockWatchdog& watchdog, Addr span, Addr lock_base,
+                       std::uint32_t lock_words, Addr rec_base)
+        : config_(config),
+          system_(system),
+          watchdog_(watchdog),
+          span_(span),
+          lockBase_(lock_base),
+          lockWords_(lock_words),
+          rng_(config.seed),
+          pes_(config.numPes),
+          nextRecord_(rec_base)
+    {
+    }
+
+    std::uint64_t completedRefs() const { return completed_; }
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    bool
+    next(PeId pe, ParOp* out) override
+    {
+        PeState& state = pes_[pe];
+        out->area = Area::Heap;
+        out->wdata = 0;
+        if (completed_ >= config_.steps) {
+            // Drain phase: release held locks, then end the stream.
+            if (state.heldLocks.empty())
+                return false;
+            out->op = MemOp::U;
+            out->addr = state.heldLocks.front();
+            return true;
+        }
+        const std::uint64_t roll = rng_.below(100);
+        if (roll < config_.lockPct) {
+            // Acquirable words: lock words this PE does not hold.
+            std::vector<Addr> candidates;
+            if (state.heldLocks.size() <
+                system_.config().cache.lockEntries) {
+                for (std::uint32_t w = 0; w < lockWords_; ++w) {
+                    const Addr word = lockBase_ + w;
+                    if (std::find(state.heldLocks.begin(),
+                                  state.heldLocks.end(),
+                                  word) == state.heldLocks.end()) {
+                        candidates.push_back(word);
+                    }
+                }
+            }
+            if (candidates.empty() ||
+                (!state.heldLocks.empty() && rng_.chance(1, 2))) {
+                out->addr = state.heldLocks.front();
+                if (rng_.chance(1, 2)) {
+                    out->op = MemOp::UW;
+                    out->wdata = rng_.next();
+                } else {
+                    out->op = MemOp::U;
+                }
+            } else {
+                out->op = MemOp::LR;
+                out->addr = candidates[rng_.below(candidates.size())];
+            }
+        } else if (roll < config_.lockPct + config_.optPct) {
+            if (!records_.empty() && rng_.chance(1, 2)) {
+                out->addr = records_.front();
+                records_.pop_front();
+                // ER of a non-last word read-invalidates the
+                // producer; RP reads then purges.
+                out->op = rng_.chance(1, 2) ? MemOp::ER : MemOp::RP;
+            } else {
+                out->op = MemOp::DW;
+                out->addr = nextRecord_;
+                nextRecord_ += config_.blockWords;
+                out->wdata = rng_.next();
+            }
+        } else {
+            out->addr = rng_.below(span_);
+            if (rng_.chance(config_.writePct, 100)) {
+                out->op = MemOp::W;
+                out->wdata = rng_.next();
+            } else {
+                out->op = MemOp::R;
+            }
+        }
+        return true;
+    }
+
+    void
+    complete(PeId pe, const ParOp& op, Word data) override
+    {
+        PeState& state = pes_[pe];
+        if (op.op == MemOp::LR)
+            state.heldLocks.push_back(op.addr);
+        else if (op.op == MemOp::UW || op.op == MemOp::U)
+            state.heldLocks.pop_front();
+        if (op.op == MemOp::DW)
+            records_.push_back(op.addr);
+        if (completed_ < config_.steps) {
+            fingerprint_ = mix(fingerprint_,
+                               (static_cast<std::uint64_t>(pe) << 8) |
+                                   static_cast<std::uint64_t>(op.op));
+            fingerprint_ = mix(fingerprint_, op.addr);
+            fingerprint_ = mix(fingerprint_, data);
+        }
+        completed_ += 1;
+    }
+
+    bool independent() const override { return false; }
+
+    void onStall() override { watchdog_.reportStall(); }
+
+  private:
+    const StressConfig& config_;
+    const System& system_;
+    LockWatchdog& watchdog_;
+    const Addr span_;
+    const Addr lockBase_;
+    const std::uint32_t lockWords_;
+    Rng rng_; ///< The one shared stream, drawn in global order.
+    std::vector<PeState> pes_;
+    std::deque<Addr> records_; ///< Produced, not yet consumed records.
+    Addr nextRecord_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t fingerprint_ = 0;
 };
 
 } // namespace
@@ -176,151 +316,21 @@ runStress(const StressConfig& config)
         trace.push_back(ref);
     });
 
-    Rng rng(config.seed);
-    std::vector<PeState> pes(config.numPes);
-    std::deque<Addr> records; ///< Produced, not yet consumed record blocks.
-    Addr next_record = rec_base;
+    GlobalStressSource source(config, system, watchdog, span, lock_base,
+                              lock_words, rec_base);
 
     try {
-        // Main phase: complete config.steps references.
-        while (result.completedRefs < config.steps) {
-            const PeId pe = system.earliestRunnable();
-            if (pe == kNoPe)
-                watchdog.reportStall();
-            PeState& state = pes[pe];
-
-            MemOp op;
-            Addr addr;
-            Word wdata = 0;
-            if (state.hasRetry) {
-                op = state.retryOp;
-                addr = state.retryAddr;
-                wdata = state.retryData;
-            } else {
-                const std::uint64_t roll = rng.below(100);
-                if (roll < config.lockPct) {
-                    // Acquirable words: lock words this PE does not hold.
-                    std::vector<Addr> candidates;
-                    if (state.heldLocks.size() <
-                        system.config().cache.lockEntries) {
-                        for (std::uint32_t w = 0; w < lock_words; ++w) {
-                            const Addr word = lock_base + w;
-                            if (std::find(state.heldLocks.begin(),
-                                          state.heldLocks.end(),
-                                          word) == state.heldLocks.end()) {
-                                candidates.push_back(word);
-                            }
-                        }
-                    }
-                    if (candidates.empty() ||
-                        (!state.heldLocks.empty() && rng.chance(1, 2))) {
-                        addr = state.heldLocks.front();
-                        if (rng.chance(1, 2)) {
-                            op = MemOp::UW;
-                            wdata = rng.next();
-                        } else {
-                            op = MemOp::U;
-                        }
-                    } else {
-                        op = MemOp::LR;
-                        addr = candidates[rng.below(candidates.size())];
-                    }
-                } else if (roll < config.lockPct + config.optPct) {
-                    if (!records.empty() && rng.chance(1, 2)) {
-                        addr = records.front();
-                        records.pop_front();
-                        // ER of a non-last word read-invalidates the
-                        // producer; RP reads then purges.
-                        op = rng.chance(1, 2) ? MemOp::ER : MemOp::RP;
-                    } else {
-                        op = MemOp::DW;
-                        addr = next_record;
-                        next_record += block;
-                        wdata = rng.next();
-                    }
-                } else {
-                    addr = rng.below(span);
-                    if (rng.chance(config.writePct, 100)) {
-                        op = MemOp::W;
-                        wdata = rng.next();
-                    } else {
-                        op = MemOp::R;
-                    }
-                }
-            }
-
-            const System::Access access =
-                system.access(pe, op, addr, Area::Heap, wdata);
-            if (access.lockWait) {
-                state.hasRetry = true;
-                state.retryOp = op;
-                state.retryAddr = addr;
-                state.retryData = wdata;
-                continue;
-            }
-            state.hasRetry = false;
-            if (op == MemOp::LR)
-                state.heldLocks.push_back(addr);
-            else if (op == MemOp::UW || op == MemOp::U)
-                state.heldLocks.pop_front();
-            if (op == MemOp::DW)
-                records.push_back(addr);
-            result.completedRefs += 1;
-            result.fingerprint = mix(result.fingerprint,
-                                     (static_cast<std::uint64_t>(pe) << 8) |
-                                         static_cast<std::uint64_t>(op));
-            result.fingerprint = mix(result.fingerprint, addr);
-            result.fingerprint = mix(result.fingerprint, access.data);
-        }
-
-        // Drain phase: finish pending retries and release held locks so
-        // every parked PE is woken before teardown.
-        for (;;) {
-            bool anything_left = false;
-            PeId pe = kNoPe;
-            for (PeId p = 0; p < system.numPes(); ++p) {
-                if (system.parked(p)) {
-                    anything_left = true;
-                    continue;
-                }
-                if (!pes[p].hasRetry && pes[p].heldLocks.empty())
-                    continue;
-                anything_left = true;
-                if (pe == kNoPe || system.clock(p) < system.clock(pe))
-                    pe = p;
-            }
-            if (!anything_left)
-                break;
-            if (pe == kNoPe)
-                watchdog.reportStall();
-            PeState& state = pes[pe];
-            MemOp op;
-            Addr addr;
-            Word wdata = 0;
-            if (state.hasRetry) {
-                op = state.retryOp;
-                addr = state.retryAddr;
-                wdata = state.retryData;
-            } else {
-                op = MemOp::U;
-                addr = state.heldLocks.front();
-            }
-            const System::Access access =
-                system.access(pe, op, addr, Area::Heap, wdata);
-            if (access.lockWait) {
-                state.hasRetry = true;
-                state.retryOp = op;
-                state.retryAddr = addr;
-                state.retryData = wdata;
-                continue;
-            }
-            state.hasRetry = false;
-            if (op == MemOp::LR)
-                state.heldLocks.push_back(addr);
-            else if (op == MemOp::UW || op == MemOp::U)
-                state.heldLocks.pop_front();
-            result.completedRefs += 1;
-        }
+        // Drive the run through the parallel core. The stress System is
+        // observed and the source shares one RNG, so this is always the
+        // serialized-epoch path — bit-identical for any parJobs, with
+        // fault sites firing at (per-operation) epoch boundaries.
+        ParallelCoreOptions core_options;
+        core_options.jobs = std::max<std::uint32_t>(1, config.parJobs);
+        const ParallelRunResult core =
+            runParallelCore(system, source, core_options);
+        result.coreSerialized = core.serialized;
+        result.completedRefs = source.completedRefs();
+        result.fingerprint = source.fingerprint();
 
         if (config.audit)
             auditor.auditFull();
@@ -363,6 +373,8 @@ runStress(const StressConfig& config)
         result.kind = fault.kind();
         result.message = fault.message();
         result.replayLine = config.replayLine();
+        result.completedRefs = source.completedRefs();
+        result.fingerprint = source.fingerprint();
         system.abandonParkedWaiters();
         if (!config.traceOut.empty()) {
             TraceWriter writer(config.traceOut, config.numPes);

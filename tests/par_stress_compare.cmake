@@ -1,0 +1,62 @@
+# Stress-harness parallel-core acceptance (ctest `par` label,
+# docs/ROBUSTNESS.md): a pim_stress run must be bit-identical for any
+# --par-jobs value — the stress System always degrades the parallel
+# core to its serialized-epoch mode — both on a clean run and under a
+# fault plan (fault sites fire at epoch boundaries, so the detected
+# fault, completed-reference count and replay line must all agree).
+#
+# Usage:
+#   cmake -DSTRESS=<pim_stress path> -DWORK=<scratch dir>
+#         -P par_stress_compare.cmake
+
+foreach(var STRESS WORK)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "par_stress_compare.cmake: ${var} is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+set(clean_flags --seed=3 --steps=8000 --pes=6 --lock-pct=25 --opt-pct=20
+    --cluster-size=2 --hop-cycles=2)
+set(fault_flags --seed=7 --steps=8000 --plan=corrupt_word:p=0.002
+    --expect-fault)
+
+foreach(jobs 0 4)
+    execute_process(COMMAND ${STRESS} ${clean_flags} --par-jobs=${jobs}
+                    OUTPUT_FILE ${WORK}/clean_j${jobs}.txt
+                    RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "par-stress: clean run (par-jobs=${jobs}) exited ${rc}")
+    endif()
+    execute_process(COMMAND ${STRESS} ${fault_flags} --par-jobs=${jobs}
+                    OUTPUT_FILE ${WORK}/fault_j${jobs}.txt
+                    RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "par-stress: fault run (par-jobs=${jobs}) exited ${rc} "
+                "(expected a detected fault)")
+    endif()
+endforeach()
+
+foreach(case clean fault)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            ${WORK}/${case}_j0.txt ${WORK}/${case}_j4.txt
+                    RESULT_VARIABLE cmp_rc)
+    if(NOT cmp_rc EQUAL 0)
+        find_program(DIFF_TOOL diff)
+        if(DIFF_TOOL)
+            execute_process(COMMAND ${DIFF_TOOL} -u ${WORK}/${case}_j0.txt
+                                    ${WORK}/${case}_j4.txt
+                            OUTPUT_VARIABLE diff_text)
+            message(STATUS "diff (${case}, par-jobs 0 vs 4):\n${diff_text}")
+        endif()
+        message(FATAL_ERROR
+                "par-stress: ${case} run is NOT bit-identical across "
+                "--par-jobs values")
+    endif()
+endforeach()
+message(STATUS "par-stress: clean and fault runs bit-identical for "
+               "--par-jobs 0 and 4")

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Parallel discrete-event core (ctest -L par, docs/ARCHITECTURE.md
+ * "Threading model"): EpochGate rendezvous/ordering units, the
+ * jobs-invariance contract (identical fingerprint, makespan, bus
+ * transactions, protocol hash and reference counters for any --par-jobs
+ * count), the serialized-mode differential against a hand-rolled legacy
+ * driver loop, and a randomized shape x jobs fuzz including locks,
+ * optimized commands, write-through and clustered topologies.
+ */
+
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "sim/par_workload.h"
+#include "sim/parallel_core.h"
+#include "sim/system.h"
+
+namespace pim {
+namespace {
+
+// ---------------------------------------------------------------------
+// EpochGate units
+// ---------------------------------------------------------------------
+
+TEST(EpochGateTest, SinglePartyAlwaysLeads)
+{
+    EpochGate gate(1);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_TRUE(gate.arrive());
+        EXPECT_EQ(gate.generation(), static_cast<std::uint64_t>(i));
+        gate.release();
+    }
+}
+
+TEST(EpochGateTest, ExactlyOneLeaderPerGeneration)
+{
+    constexpr unsigned kParties = 4;
+    constexpr int kGenerations = 200;
+    EpochGate gate(kParties);
+    std::atomic<int> leaders{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kParties; ++t) {
+        threads.emplace_back([&] {
+            for (int g = 0; g < kGenerations; ++g) {
+                if (gate.arrive()) {
+                    leaders.fetch_add(1, std::memory_order_relaxed);
+                    gate.release();
+                }
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(leaders.load(), kGenerations);
+}
+
+TEST(EpochGateTest, LeaderWritesVisibleAfterRelease)
+{
+    // The happens-before chain the parallel core relies on: plain
+    // (non-atomic) writes by the epoch leader must be visible to every
+    // party once arrive() returns from the next rendezvous.
+    constexpr unsigned kParties = 3;
+    constexpr int kGenerations = 500;
+    EpochGate gate(kParties);
+    std::uint64_t shared = 0; // plain variable, ordered only by the gate
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kParties; ++t) {
+        threads.emplace_back([&] {
+            for (int g = 0; g < kGenerations; ++g) {
+                if (gate.arrive()) {
+                    shared = static_cast<std::uint64_t>(g) + 1;
+                    gate.release();
+                } else if (shared != static_cast<std::uint64_t>(g) + 1) {
+                    failed.store(true);
+                }
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_FALSE(failed.load());
+}
+
+// ---------------------------------------------------------------------
+// Jobs invariance
+// ---------------------------------------------------------------------
+
+/** Everything the issue requires to be byte-identical across jobs. */
+struct Observables {
+    std::uint64_t fingerprint = 0;
+    Cycles makespan = 0;
+    std::uint64_t busTransactions = 0;
+    Cycles busCycles = 0;
+    Cycles interClusterCycles = 0;
+    std::uint64_t protocolHash = 0;
+    std::uint64_t refTotal = 0;
+    std::uint64_t refWrites = 0;
+    std::vector<std::uint64_t> snapshot;
+
+    bool
+    operator==(const Observables& o) const
+    {
+        return fingerprint == o.fingerprint && makespan == o.makespan &&
+               busTransactions == o.busTransactions &&
+               busCycles == o.busCycles &&
+               interClusterCycles == o.interClusterCycles &&
+               protocolHash == o.protocolHash && refTotal == o.refTotal &&
+               refWrites == o.refWrites && snapshot == o.snapshot;
+    }
+};
+
+std::uint64_t
+busTransactionTotal(const BusStats& bus)
+{
+    std::uint64_t total = 0;
+    for (int p = 0; p < kNumBusPatterns; ++p)
+        total += bus.transByPattern[p];
+    return total;
+}
+
+Observables
+collect(const System& system, std::uint64_t mem_words,
+        std::uint64_t fingerprint)
+{
+    Observables obs;
+    obs.fingerprint = fingerprint;
+    obs.makespan = system.makespan();
+    obs.busTransactions = busTransactionTotal(system.bus().stats());
+    obs.busCycles = system.bus().stats().totalCycles;
+    obs.interClusterCycles = system.bus().stats().interClusterCycles;
+    obs.protocolHash = system.protocolHash(0, mem_words);
+    obs.refTotal = system.refStats().total();
+    obs.refWrites = system.refStats().opTotal(MemOp::W);
+    obs.snapshot = system.protocolSnapshot(0, mem_words);
+    return obs;
+}
+
+SystemConfig
+baseConfig(std::uint32_t pes, std::uint64_t mem_words)
+{
+    SystemConfig config;
+    config.numPes = pes;
+    config.memoryWords = mem_words;
+    return config;
+}
+
+Observables
+runShape(const ParShape& shape, SystemConfig config, unsigned jobs,
+         ParallelRunResult* result_out = nullptr)
+{
+    ParWorkloadSource source(shape, config.numPes,
+                             config.cache.geometry.blockWords);
+    config.memoryWords = source.memoryWords();
+    System system(config);
+    ParallelCoreOptions options;
+    options.jobs = jobs;
+    const ParallelRunResult result =
+        runParallelCore(system, source, options);
+    if (result_out != nullptr)
+        *result_out = result;
+    return collect(system, config.memoryWords, result.fingerprint);
+}
+
+TEST(ParallelCoreTest, JobsInvarianceDefaultShape)
+{
+    ParShape shape;
+    shape.stepsPerPe = 3000;
+    const SystemConfig config = baseConfig(8, 0);
+    ParallelRunResult seq_result;
+    const Observables seq = runShape(shape, config, 1, &seq_result);
+    EXPECT_TRUE(seq_result.serialized);
+    EXPECT_EQ(seq_result.epochs, 0u);
+    EXPECT_EQ(seq_result.completedRefs, 8u * 3000u);
+    EXPECT_GT(seq.busTransactions, 0u);
+
+    for (unsigned jobs : {2u, 3u, 8u}) {
+        ParallelRunResult par_result;
+        const Observables par = runShape(shape, config, jobs, &par_result);
+        EXPECT_FALSE(par_result.serialized) << "jobs=" << jobs;
+        EXPECT_GT(par_result.epochs, 0u) << "jobs=" << jobs;
+        EXPECT_GT(par_result.localRefs, 0u) << "jobs=" << jobs;
+        EXPECT_EQ(par_result.completedRefs, seq_result.completedRefs);
+        EXPECT_TRUE(par == seq) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelCoreTest, JobsInvarianceLockMix)
+{
+    ParShape shape;
+    shape.stepsPerPe = 2000;
+    shape.lockPct = 25;
+    shape.sharedPct = 5;
+    const SystemConfig config = baseConfig(6, 0);
+    const Observables seq = runShape(shape, config, 1);
+    for (unsigned jobs : {2u, 6u})
+        EXPECT_TRUE(runShape(shape, config, jobs) == seq)
+            << "jobs=" << jobs;
+}
+
+TEST(ParallelCoreTest, JobsInvarianceOptimizedCommands)
+{
+    ParShape shape;
+    shape.stepsPerPe = 2000;
+    shape.optPct = 30;
+    shape.sharedPct = 4;
+    const SystemConfig config = baseConfig(8, 0);
+    const Observables seq = runShape(shape, config, 1);
+    for (unsigned jobs : {2u, 8u})
+        EXPECT_TRUE(runShape(shape, config, jobs) == seq)
+            << "jobs=" << jobs;
+}
+
+TEST(ParallelCoreTest, JobsInvarianceWriteThrough)
+{
+    ParShape shape;
+    shape.stepsPerPe = 1500;
+    SystemConfig config = baseConfig(4, 0);
+    config.cache.writeThrough = true;
+    const Observables seq = runShape(shape, config, 1);
+    for (unsigned jobs : {2u, 4u})
+        EXPECT_TRUE(runShape(shape, config, jobs) == seq)
+            << "jobs=" << jobs;
+}
+
+TEST(ParallelCoreTest, JobsInvarianceClusteredTopology)
+{
+    ParShape shape;
+    shape.stepsPerPe = 2000;
+    shape.sharedPct = 6;
+    SystemConfig config = baseConfig(8, 0);
+    config.cluster.clusterSize = 2;
+    config.cluster.hopCycles = 2;
+    const Observables seq = runShape(shape, config, 1);
+    EXPECT_GT(seq.interClusterCycles, 0u);
+    for (unsigned jobs : {2u, 8u})
+        EXPECT_TRUE(runShape(shape, config, jobs) == seq)
+            << "jobs=" << jobs;
+}
+
+TEST(ParallelCoreTest, JobsLargerThanPes)
+{
+    ParShape shape;
+    shape.stepsPerPe = 1000;
+    const SystemConfig config = baseConfig(3, 0);
+    const Observables seq = runShape(shape, config, 1);
+    EXPECT_TRUE(runShape(shape, config, 8) == seq);
+}
+
+// ---------------------------------------------------------------------
+// Serialized mode is the legacy driver, bit for bit
+// ---------------------------------------------------------------------
+
+TEST(ParallelCoreTest, SerializedMatchesManualDriverLoop)
+{
+    ParShape shape;
+    shape.stepsPerPe = 2000;
+    shape.lockPct = 15;
+    shape.sharedPct = 5;
+    shape.optPct = 10;
+    const std::uint32_t pes = 6;
+
+    // Manual legacy loop: always step the (clock, pe)-minimal live PE,
+    // pulling its next operation only after selecting it.
+    ParWorkloadSource manual_source(shape, pes, 4);
+    SystemConfig config = baseConfig(pes, manual_source.memoryWords());
+    Observables manual;
+    {
+        System system(config);
+        std::vector<std::optional<ParOp>> pending(pes);
+        std::vector<bool> done(pes, false);
+        while (true) {
+            PeId best = kNoPe;
+            for (PeId pe = 0; pe < pes; ++pe) {
+                if (done[pe] || system.parked(pe))
+                    continue;
+                if (best == kNoPe ||
+                    system.clock(pe) < system.clock(best))
+                    best = pe;
+            }
+            if (best == kNoPe)
+                break;
+            if (!pending[best].has_value()) {
+                ParOp op;
+                if (!manual_source.next(best, &op)) {
+                    done[best] = true;
+                    continue;
+                }
+                pending[best] = op;
+            }
+            const ParOp& op = *pending[best];
+            const System::Access access =
+                system.access(best, op.op, op.addr, op.area, op.wdata);
+            if (!access.lockWait) {
+                manual_source.complete(best, op, access.data);
+                pending[best].reset();
+            }
+        }
+        manual = collect(system, config.memoryWords, 0);
+    }
+
+    ParWorkloadSource core_source(shape, pes, 4);
+    System system(config);
+    ParallelCoreOptions options;
+    options.jobs = 1;
+    const ParallelRunResult result =
+        runParallelCore(system, core_source, options);
+    EXPECT_TRUE(result.serialized);
+    Observables core = collect(system, config.memoryWords, 0);
+    EXPECT_TRUE(core == manual);
+
+    // And the concurrent mode agrees with both (fingerprint aside,
+    // which the manual loop does not compute).
+    ParWorkloadSource par_source(shape, pes, 4);
+    System par_system(config);
+    options.jobs = 4;
+    runParallelCore(par_system, par_source, options);
+    Observables par = collect(par_system, config.memoryWords, 0);
+    EXPECT_TRUE(par == manual);
+}
+
+// ---------------------------------------------------------------------
+// Serialized-mode degradation triggers
+// ---------------------------------------------------------------------
+
+TEST(ParallelCoreTest, ObserverForcesSerializedMode)
+{
+    class CountingObserver : public AccessObserver
+    {
+      public:
+        std::uint64_t seen = 0;
+        void
+        afterAccess(PeId, MemOp, Addr, Area, Word, Word, bool) override
+        {
+            seen += 1;
+        }
+    };
+
+    ParShape shape;
+    shape.stepsPerPe = 500;
+    const std::uint32_t pes = 4;
+    ParWorkloadSource source(shape, pes, 4);
+    SystemConfig config = baseConfig(pes, source.memoryWords());
+    System system(config);
+    CountingObserver observer;
+    system.addAccessObserver(&observer);
+
+    ParallelCoreOptions options;
+    options.jobs = 8;
+    EXPECT_TRUE(parallelCoreSerialized(system, source, options));
+    const ParallelRunResult result =
+        runParallelCore(system, source, options);
+    EXPECT_TRUE(result.serialized);
+    EXPECT_EQ(result.epochs, 0u);
+    EXPECT_GE(observer.seen, result.completedRefs);
+
+    // Same shape, unobserved: identical observables, concurrent mode.
+    ParWorkloadSource par_source(shape, pes, 4);
+    System par_system(config);
+    EXPECT_FALSE(parallelCoreSerialized(par_system, par_source, options));
+    const ParallelRunResult par =
+        runParallelCore(par_system, par_source, options);
+    EXPECT_FALSE(par.serialized);
+    EXPECT_EQ(par.completedRefs, result.completedRefs);
+    EXPECT_EQ(par.fingerprint, result.fingerprint);
+    EXPECT_EQ(par_system.makespan(), system.makespan());
+}
+
+TEST(ParallelCoreTest, ZeroHitCyclesForcesSerializedMode)
+{
+    ParShape shape;
+    shape.stepsPerPe = 300;
+    const std::uint32_t pes = 4;
+    ParWorkloadSource source(shape, pes, 4);
+    SystemConfig config = baseConfig(pes, source.memoryWords());
+    config.cache.hitCycles = 0;
+    System system(config);
+    ParallelCoreOptions options;
+    options.jobs = 4;
+    EXPECT_TRUE(parallelCoreSerialized(system, source, options));
+    const ParallelRunResult result =
+        runParallelCore(system, source, options);
+    EXPECT_TRUE(result.serialized);
+    EXPECT_GT(result.completedRefs, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Randomized shape x jobs fuzz
+// ---------------------------------------------------------------------
+
+TEST(ParallelCoreTest, FuzzShapesAcrossJobs)
+{
+    Rng rng(20260809);
+    for (int iteration = 0; iteration < 12; ++iteration) {
+        ParShape shape;
+        shape.stepsPerPe = 200 + rng.below(600);
+        shape.sharedWords = 64 << rng.below(4);
+        shape.privateWords = 256 << rng.below(3);
+        shape.sharedPct = rng.below(30);
+        shape.writePct = rng.below(100);
+        shape.lockPct = rng.chance(1, 2) ? rng.below(30) : 0;
+        shape.optPct = rng.chance(1, 2) ? rng.below(40) : 0;
+        shape.seed = rng.next();
+
+        SystemConfig config = baseConfig(2 + rng.below(7), 0);
+        if (rng.chance(1, 3))
+            config.cluster.clusterSize = 2;
+        if (rng.chance(1, 4))
+            config.cache.writeThrough = true;
+        if (rng.chance(1, 3))
+            config.snoopFilter = false;
+
+        const Observables seq = runShape(shape, config, 1);
+        const unsigned jobs = 2 + rng.below(7);
+        const Observables par = runShape(shape, config, jobs);
+        EXPECT_TRUE(par == seq)
+            << "iteration " << iteration << " jobs=" << jobs
+            << " pes=" << config.numPes << " seed=" << shape.seed;
+    }
+}
+
+} // namespace
+} // namespace pim
